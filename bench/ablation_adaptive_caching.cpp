@@ -1,0 +1,55 @@
+// Ablation A1: the adaptive caching mechanism (§3.2.2) against fixed
+// promotion thresholds.
+//
+// The adaptive threshold should track the best fixed threshold on both a
+// high-reuse (zipf) and a low-reuse (uniform) workload, where any single
+// fixed threshold loses on one of them: threshold 1 pollutes the cache
+// under scans, large thresholds starve it under reuse.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace pipette;
+  using namespace pipette::bench;
+  const BenchArgs args = BenchArgs::parse(argc, argv);
+  Scale scale = Scale::from_args(args);
+  if (args.requests == 0 && !args.quick) scale = {1'000'000, 1'000'000};
+  print_header("Ablation A1 — adaptive caching vs fixed thresholds", scale);
+
+  struct Variant {
+    const char* name;
+    bool adaptive;
+    std::uint32_t threshold;
+  };
+  const Variant variants[] = {
+      {"adaptive (paper)", true, 2}, {"fixed t=1", false, 1},
+      {"fixed t=2", false, 2},       {"fixed t=4", false, 4},
+      {"fixed t=8", false, 8},
+  };
+
+  Table t({"Variant", "uniform E thpt (req/s)", "uniform E FGRC hit %",
+           "zipf E thpt (req/s)", "zipf E FGRC hit %"});
+  for (const Variant& v : variants) {
+    auto make_machine = [&](PathKind kind) {
+      MachineConfig config = default_machine(kind);
+      config.pipette.fgrc.adaptive.enabled = v.adaptive;
+      config.pipette.fgrc.adaptive.initial_threshold = v.threshold;
+      config.pipette.fgrc.adaptive.min_threshold = 1;
+      config.pipette.fgrc.adaptive.max_threshold =
+          std::max<std::uint32_t>(v.threshold, 4);
+      return config;
+    };
+    std::vector<std::string> row{v.name};
+    for (Distribution dist : {Distribution::kUniform, Distribution::kZipf}) {
+      SyntheticWorkload w(table1_workload('E', dist, args.seed));
+      const RunResult r = run_experiment(make_machine(PathKind::kPipette), w,
+                                         scale.run());
+      row.push_back(Table::fmt(r.requests_per_sec(), 0));
+      row.push_back(Table::fmt(r.fgrc_hit_ratio * 100.0, 1));
+      std::fprintf(stderr, "  %-18s %-7s done\n", v.name,
+                   dist == Distribution::kUniform ? "uniform" : "zipf");
+    }
+    t.add_row(std::move(row));
+  }
+  emit(t, args);
+  return 0;
+}

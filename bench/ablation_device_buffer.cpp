@@ -1,0 +1,48 @@
+// Ablation A6: the device staging buffer (controller DRAM) — the modelling
+// decision DESIGN.md §4b calls out. Sweeps the buffer size for the
+// fine-grained paths and toggles whether block reads may use it, showing
+// the two regimes: staging covers the working set (synthetic experiments,
+// byte paths at microseconds) vs staging dwarfed by the dataset (real-app
+// experiments, byte-path misses pay NAND tR).
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace pipette;
+  using namespace pipette::bench;
+  const BenchArgs args = BenchArgs::parse(argc, argv);
+  Scale scale = Scale::from_args(args);
+  if (args.requests == 0 && !args.quick) scale = {500'000, 500'000};
+  print_header("Ablation A6 — device staging buffer (workload E, uniform)",
+               scale);
+
+  Table t({"read_buffer", "block uses it", "Pipette w/o cache us",
+           "Block I/O us", "ratio"});
+  for (std::uint64_t buffer_mib : {16ull, 64ull, 512ull}) {
+    for (bool block_uses : {false, true}) {
+      auto make_machine = [&](PathKind kind) {
+        MachineConfig config = default_machine(kind);
+        config.ssd.read_buffer_bytes = buffer_mib * kMiB;
+        config.ssd.block_reads_use_buffer = block_uses;
+        return config;
+      };
+      SyntheticWorkload wn(
+          table1_workload('E', Distribution::kUniform, args.seed));
+      const RunResult nocache = run_experiment(
+          make_machine(PathKind::kPipetteNoCache), wn, scale.run());
+      SyntheticWorkload wb(
+          table1_workload('E', Distribution::kUniform, args.seed));
+      const RunResult block =
+          run_experiment(make_machine(PathKind::kBlockIo), wb, scale.run());
+      t.add_row({std::to_string(buffer_mib) + " MiB",
+                 block_uses ? "yes" : "no",
+                 Table::fmt(nocache.mean_latency_us, 2),
+                 Table::fmt(block.mean_latency_us, 2),
+                 Table::fmt_times(block.mean_latency_us /
+                                  nocache.mean_latency_us)});
+      std::fprintf(stderr, "  buffer=%lluMiB block_uses=%d done\n",
+                   static_cast<unsigned long long>(buffer_mib), block_uses);
+    }
+  }
+  emit(t, args);
+  return 0;
+}

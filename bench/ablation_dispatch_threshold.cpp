@@ -1,0 +1,52 @@
+// Ablation A4: the Read Dispatcher's size threshold (§3.1.2 routes "mainly
+// based on the data size"). The search workload's posting lists span
+// 16 B .. 512 B, so lowering the threshold pushes progressively more reads
+// onto the block interface — showing what the byte path is worth per size
+// class.
+#include "bench_common.h"
+#include "workload/search.h"
+
+int main(int argc, char** argv) {
+  using namespace pipette;
+  using namespace pipette::bench;
+  const BenchArgs args = BenchArgs::parse(argc, argv);
+  Scale scale = Scale::from_args(args);
+  if (args.requests == 0 && !args.quick) scale = {1'000'000, 1'000'000};
+  print_header("Ablation A4 — dispatcher fine-path size threshold", scale);
+
+  Table t({"fine_max_len", "thpt (req/s)", "traffic MiB", "fine reads %"});
+  for (std::uint32_t fine_max : {32u, 64u, 128u, 512u, 4096u}) {
+    MachineConfig config = default_machine(PathKind::kPipette);
+    config.pipette.dispatch.fine_max_len = fine_max;
+    SearchConfig sc;
+    sc.seed = args.seed;
+    SearchWorkload w(sc);
+    Machine machine(config, w.files());
+    const int fd =
+        machine.vfs().open(w.files()[0].name, machine.open_flags(false));
+    std::vector<std::uint8_t> buf(8192);
+    for (std::uint64_t i = 0; i < scale.warmup; ++i) {
+      const Request rq = w.next();
+      machine.vfs().pread(fd, rq.offset, {buf.data(), rq.len});
+    }
+    const SimTime t0 = machine.sim().now();
+    const std::uint64_t traffic0 = machine.io_traffic_bytes();
+    for (std::uint64_t i = 0; i < scale.requests; ++i) {
+      const Request rq = w.next();
+      machine.vfs().pread(fd, rq.offset, {buf.data(), rq.len});
+    }
+    const double elapsed_s =
+        static_cast<double>(machine.sim().now() - t0) / 1e9;
+    const auto& ps = machine.pipette_path()->pipette_stats();
+    t.add_row(
+        {std::to_string(fine_max),
+         Table::fmt(static_cast<double>(scale.requests) / elapsed_s, 0),
+         Table::fmt(to_mib(machine.io_traffic_bytes() - traffic0), 1),
+         Table::fmt(100.0 * static_cast<double>(ps.fine_reads) /
+                        static_cast<double>(ps.fine_reads + ps.block_reads),
+                    1)});
+    std::fprintf(stderr, "  fine_max=%u done\n", fine_max);
+  }
+  emit(t, args);
+  return 0;
+}

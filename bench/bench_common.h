@@ -1,0 +1,114 @@
+// Shared helpers for the experiment benches: run matrices over the five
+// systems, and table rendering with the paper's reference numbers alongside.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "sim/experiment.h"
+#include "workload/synthetic.h"
+
+namespace pipette::bench {
+
+/// Paper-scale request counts (§4.2 performs 2.5M reads); --quick and
+/// --requests rescale.
+struct Scale {
+  std::uint64_t requests = 2'500'000;
+  std::uint64_t warmup = 1'000'000;
+
+  static Scale from_args(const BenchArgs& args) {
+    Scale s;
+    if (args.quick) s = {100'000, 50'000};
+    if (args.requests != 0) {
+      s.requests = args.requests;
+      s.warmup = args.requests / 2;
+    }
+    return s;
+  }
+  RunConfig run() const { return {requests, warmup}; }
+};
+
+inline const char* short_name(PathKind kind) {
+  switch (kind) {
+    case PathKind::kBlockIo:
+      return "Block I/O";
+    case PathKind::kTwoBMmio:
+      return "2B-SSD MMIO";
+    case PathKind::kTwoBDma:
+      return "2B-SSD DMA";
+    case PathKind::kPipetteNoCache:
+      return "Pipette w/o cache";
+    case PathKind::kPipette:
+      return "Pipette";
+  }
+  return "?";
+}
+
+/// Results of one workload column across all five systems.
+using Column = std::map<PathKind, RunResult>;
+
+/// Run the five systems over the Table 1 synthetic workloads of one
+/// distribution. `make_machine` lets ablations tweak configs per kind.
+inline std::map<char, Column> run_synthetic_matrix(
+    Distribution dist, const Scale& scale, std::uint64_t seed,
+    const std::function<MachineConfig(PathKind)>& make_machine =
+        [](PathKind k) { return default_machine(k); }) {
+  std::map<char, Column> out;
+  for (char wl : {'A', 'B', 'C', 'D', 'E'}) {
+    for (PathKind kind : kAllPaths) {
+      SyntheticWorkload workload(table1_workload(wl, dist, seed));
+      out[wl][kind] =
+          run_experiment(make_machine(kind), workload, scale.run());
+      std::fprintf(stderr, "  [%c] %-18s done (%.2f us mean)\n", wl,
+                   short_name(kind), out[wl][kind].mean_latency_us);
+    }
+  }
+  return out;
+}
+
+/// Render a normalized-throughput table (rows = systems, columns = A..E).
+inline Table throughput_table(const std::map<char, Column>& matrix) {
+  Table t({"System", "A", "B", "C", "D", "E"});
+  for (PathKind kind : kAllPaths) {
+    std::vector<std::string> row{short_name(kind)};
+    for (const auto& [wl, column] : matrix) {
+      const double norm = normalized_throughput(
+          column.at(kind), column.at(PathKind::kBlockIo));
+      row.push_back(Table::fmt(norm, 2));
+    }
+    t.add_row(std::move(row));
+  }
+  return t;
+}
+
+/// Render an I/O-traffic table in MiB (the paper's "MB").
+inline Table traffic_table(const std::map<char, Column>& matrix) {
+  Table t({"System", "A", "B", "C", "D", "E"});
+  for (PathKind kind : kAllPaths) {
+    std::vector<std::string> row{short_name(kind)};
+    for (const auto& [wl, column] : matrix) {
+      row.push_back(Table::fmt(to_mib(column.at(kind).traffic_bytes), 1));
+    }
+    t.add_row(std::move(row));
+  }
+  return t;
+}
+
+inline void emit(const Table& t, const BenchArgs& args) {
+  std::fputs(t.to_text().c_str(), stdout);
+  if (!args.csv_path.empty()) t.write_csv(args.csv_path);
+}
+
+inline void print_header(const char* title, const Scale& scale) {
+  std::printf("=== %s ===\n", title);
+  std::printf("(requests per run: %llu measured after %llu warmup)\n\n",
+              static_cast<unsigned long long>(scale.requests),
+              static_cast<unsigned long long>(scale.warmup));
+}
+
+}  // namespace pipette::bench

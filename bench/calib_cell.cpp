@@ -1,0 +1,49 @@
+// Calibration utility: run one (system, workload, distribution) cell at a
+// chosen scale and print every metric the experiment runner collects.
+// Usage: calib_cell <A..E> <uniform|zipf> <block|mmio|dma|nocache|pipette>
+//        [--requests N] [--seed S]
+#include <cstring>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace pipette;
+  using namespace pipette::bench;
+  // With no arguments (e.g. a blanket `for b in bench/*; do $b; done`),
+  // probe the headline cell at smoke scale.
+  const char* default_args[] = {argv[0], "E", "uniform", "pipette",
+                                "--quick"};
+  if (argc < 4) {
+    argc = 5;
+    argv = const_cast<char**>(default_args);
+    std::puts("(no arguments: defaulting to `E uniform pipette --quick`;"
+              " see --help)");
+  }
+  const char wl = argv[1][0];
+  const Distribution dist = std::strcmp(argv[2], "zipf") == 0
+                                ? Distribution::kZipf
+                                : Distribution::kUniform;
+  PathKind kind = PathKind::kBlockIo;
+  if (std::strcmp(argv[3], "mmio") == 0) kind = PathKind::kTwoBMmio;
+  if (std::strcmp(argv[3], "dma") == 0) kind = PathKind::kTwoBDma;
+  if (std::strcmp(argv[3], "nocache") == 0) kind = PathKind::kPipetteNoCache;
+  if (std::strcmp(argv[3], "pipette") == 0) kind = PathKind::kPipette;
+
+  const BenchArgs args = BenchArgs::parse(argc - 3, argv + 3);
+  const Scale scale = Scale::from_args(args);
+
+  SyntheticWorkload workload(table1_workload(wl, dist, args.seed));
+  const RunResult r =
+      run_experiment(default_machine(kind), workload, scale.run());
+
+  std::printf("%s, workload %c, %s\n", short_name(kind), wl, argv[2]);
+  std::printf("  mean latency   : %.2f us (p50 %.2f, p99 %.2f)\n",
+              r.mean_latency_us, r.p50_latency_us, r.p99_latency_us);
+  std::printf("  requests/sec   : %.0f\n", r.requests_per_sec());
+  std::printf("  traffic        : %.1f MiB\n", to_mib(r.traffic_bytes));
+  std::printf("  page cache hit : %.2f%% (%.1f MiB resident)\n",
+              r.page_cache_hit_ratio * 100.0, to_mib(r.page_cache_bytes));
+  std::printf("  FGRC hit       : %.2f%% (%.1f MiB used)\n",
+              r.fgrc_hit_ratio * 100.0, to_mib(r.fgrc_bytes));
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Extension experiment: a third fine-grained-read application — WiSER-style
+// search-engine posting-list fetches (the paper's introduction names search
+// engines among the motivating workloads but evaluates only the first two).
+// All five systems, throughput + traffic, same methodology as Fig. 9.
+#include "bench_common.h"
+#include "workload/search.h"
+
+int main(int argc, char** argv) {
+  using namespace pipette;
+  using namespace pipette::bench;
+  const BenchArgs args = BenchArgs::parse(argc, argv);
+  Scale scale = Scale::from_args(args);
+  if (args.requests == 0 && !args.quick) scale = {1'000'000, 4'000'000};
+  print_header("Extension — search-engine posting-list reads", scale);
+
+  Table t({"System", "norm. throughput", "traffic MiB", "mean us"});
+  std::map<PathKind, RunResult> results;
+  for (PathKind kind : kAllPaths) {
+    SearchConfig sc;
+    sc.seed = args.seed;
+    SearchWorkload w(sc);
+    results[kind] = run_experiment(realapp_machine(kind), w, scale.run());
+    std::fprintf(stderr, "  %-18s done (%.2f us)\n", short_name(kind),
+                 results[kind].mean_latency_us);
+  }
+  for (PathKind kind : kAllPaths) {
+    t.add_row({short_name(kind),
+               Table::fmt(normalized_throughput(
+                              results[kind], results[PathKind::kBlockIo]),
+                          2),
+               Table::fmt(to_mib(results[kind].traffic_bytes), 1),
+               Table::fmt(results[kind].mean_latency_us, 2)});
+  }
+  emit(t, args);
+  std::printf(
+      "\nExpected shape (by analogy with Fig. 9): Pipette above block I/O\n"
+      "with an order of magnitude less traffic; no-cache byte paths below\n"
+      "block I/O.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Reproduces Table 4: page cache (block I/O run) vs fine-grained read cache
+// (Pipette run) — hit ratio and memory usage — on both real applications.
+//
+// Paper's reading: the FGRC reaches a far higher hit ratio (93.5% / 89.1%
+// vs 64.5% / 66.5%) while using an order of magnitude less memory (91 MB vs
+// 2382 MB; 70 MB vs 1112 MB), because it stores only the demanded bytes.
+#include "bench_common.h"
+#include "workload/linkbench.h"
+#include "workload/recsys.h"
+
+int main(int argc, char** argv) {
+  using namespace pipette;
+  using namespace pipette::bench;
+  const BenchArgs args = BenchArgs::parse(argc, argv);
+  Scale scale = Scale::from_args(args);
+  if (args.requests == 0 && !args.quick) scale = {1'000'000, 4'000'000};
+  print_header("Table 4 — page cache vs fine-grained read cache", scale);
+
+  Table t({"App", "System", "Hit ratio (%)", "Memory usage (MiB)"});
+  for (int app = 0; app < 2; ++app) {
+    const char* app_name = app == 0 ? "Recommender System" : "Social Graph";
+    for (PathKind kind : {PathKind::kBlockIo, PathKind::kPipette}) {
+      std::unique_ptr<Workload> workload;
+      if (app == 0) {
+        RecsysConfig rc;
+        rc.seed = args.seed;
+        workload = std::make_unique<RecsysWorkload>(rc);
+      } else {
+        LinkBenchConfig lc;
+        lc.seed = args.seed;
+        lc.read_only = true;  // same run shape as Fig. 9
+        workload = std::make_unique<LinkBenchWorkload>(lc);
+      }
+      const RunResult r =
+          run_experiment(realapp_machine(kind), *workload, scale.run());
+      const bool pipette = kind == PathKind::kPipette;
+      const double hit =
+          pipette ? r.fgrc_hit_ratio : r.page_cache_hit_ratio;
+      const std::uint64_t mem =
+          pipette ? r.fgrc_bytes : r.page_cache_bytes;
+      t.add_row({app_name, short_name(kind), Table::fmt(hit * 100.0, 2),
+                 Table::fmt(to_mib(mem), 0)});
+      std::fprintf(stderr, "  %-20s %-10s hit=%.2f%%\n", app_name,
+                   short_name(kind), hit * 100.0);
+    }
+  }
+  emit(t, args);
+
+  std::printf(
+      "\nPaper reference (Table 4):\n"
+      "RecSys:   Block I/O 64.50%% / 2382 MB   Pipette 93.50%% / 91 MB\n"
+      "SocGraph: Block I/O 66.50%% / 1112 MB   Pipette 89.09%% / 70 MB\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Adaptive caching demo: watch Pipette's promotion threshold react to the
+// workload's reusability (paper §3.2.2). Phase 1 hammers a hot set of
+// objects (high reuse -> threshold drops to the floor, everything hot gets
+// cached); phase 2 switches to a scan of never-repeated objects (reuse
+// collapses -> threshold climbs, the scan stages through TempBuf and the
+// hot set survives in the cache); phase 3 returns to the hot set, which is
+// still resident.
+//
+//   $ ./examples/adaptive_demo
+#include <cstdio>
+#include <vector>
+
+#include "common/zipf.h"
+#include "sim/machine.h"
+
+using namespace pipette;
+
+namespace {
+
+void report(const char* phase, PipettePath& pipette, std::uint64_t hits0,
+            std::uint64_t lookups0) {
+  const auto& st = pipette.fgrc().stats();
+  const double hit =
+      st.lookups.accesses() == lookups0
+          ? 0.0
+          : 100.0 * static_cast<double>(st.lookups.hits() - hits0) /
+                static_cast<double>(st.lookups.accesses() - lookups0);
+  std::printf("%-22s threshold=%u  phase hit=%5.1f%%  promoted=%llu "
+              "tempbuf=%llu\n",
+              phase, pipette.fgrc().adaptive().threshold(), hit,
+              static_cast<unsigned long long>(st.promotions),
+              static_cast<unsigned long long>(st.tempbuf_fills));
+}
+
+}  // namespace
+
+int main() {
+  MachineConfig config = default_machine(PathKind::kPipette);
+  config.pipette.fgrc.adaptive.adjust_period = 2048;
+  Machine machine(config, {{{"objects.db", 512ull * kMiB}}});
+  const int fd =
+      machine.vfs().open("objects.db", kOpenRead | kOpenFineGrained);
+  PipettePath& pipette = *machine.pipette_path();
+
+  Rng rng(1);
+  ZipfGenerator hot(20'000, 1.0);  // 20K hot 128B objects
+  std::vector<std::uint8_t> buf(128);
+  std::uint64_t scan_pos = 128ull * kMiB;
+
+  auto run_phase = [&](const char* name, bool scan, int accesses) {
+    const auto hits0 = pipette.fgrc().stats().lookups.hits();
+    const auto lookups0 = pipette.fgrc().stats().lookups.accesses();
+    for (int i = 0; i < accesses; ++i) {
+      std::uint64_t offset;
+      if (scan) {
+        offset = scan_pos;
+        scan_pos += 128;  // never repeats
+      } else {
+        offset = hot.sample(rng) * 128;
+      }
+      machine.vfs().pread(fd, offset, {buf.data(), buf.size()});
+    }
+    report(name, pipette, hits0, lookups0);
+  };
+
+  std::printf("initial threshold=%u\n\n",
+              pipette.fgrc().adaptive().threshold());
+  run_phase("phase 1: hot set", false, 60'000);
+  run_phase("phase 2: cold scan", true, 60'000);
+  run_phase("phase 3: hot again", false, 60'000);
+
+  std::printf(
+      "\nThe scan raised the threshold (low reuse ratio) and stayed out of\n"
+      "the cache via TempBuf; the hot set survived it and phase 3 resumed\n"
+      "hitting immediately.\n");
+  return 0;
+}

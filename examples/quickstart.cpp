@@ -1,0 +1,58 @@
+// Quickstart: build a simulated machine with the Pipette read framework,
+// open a file with O_FINE_GRAINED, and watch fine-grained reads get cheap.
+//
+//   $ ./examples/quickstart
+//
+// Walks through the public API: Machine -> Vfs -> pread, then the metrics
+// every layer exposes (path latency, FGRC hits, device traffic).
+#include <cstdio>
+#include <vector>
+
+#include "sim/machine.h"
+
+using namespace pipette;
+
+int main() {
+  // 1. A machine = host (VFS, page cache, Pipette) + NVMe SSD, with one
+  //    128 MiB file. default_machine() gives the paper-calibrated setup.
+  MachineConfig config = default_machine(PathKind::kPipette);
+  const std::vector<FileSpec> files = {{"objects.db", 128ull * kMiB}};
+  Machine machine(config, files);
+
+  // 2. Open with the paper's new flag: eligible reads take the byte path.
+  const int fd = machine.vfs().open("objects.db",
+                                    kOpenRead | kOpenFineGrained);
+
+  // 3. Read the same 128-byte object three times.
+  std::vector<std::uint8_t> buf(128);
+  for (int i = 0; i < 3; ++i) {
+    const SimDuration latency =
+        machine.vfs().pread(fd, /*offset=*/4096 * 10 + 256,
+                            {buf.data(), buf.size()});
+    std::printf("read %d: %.2f us  (device traffic so far: %llu bytes)\n",
+                i + 1, to_us(latency),
+                static_cast<unsigned long long>(machine.io_traffic_bytes()));
+  }
+
+  // 4. Where did the time go? The first read missed everything and paid the
+  //    flash; the rest hit the fine-grained read cache in host DRAM.
+  PipettePath& pipette = *machine.pipette_path();
+  std::printf("\nFGRC: %llu hits / %llu lookups, %llu promotions, %.1f KiB\n",
+              static_cast<unsigned long long>(
+                  pipette.fgrc().stats().lookups.hits()),
+              static_cast<unsigned long long>(
+                  pipette.fgrc().stats().lookups.accesses()),
+              static_cast<unsigned long long>(
+                  pipette.fgrc().stats().promotions),
+              static_cast<double>(pipette.fgrc().memory_bytes()) / 1024.0);
+
+  // 5. A page-aligned 4 KiB read is routed down the unchanged block path.
+  std::vector<std::uint8_t> page(kBlockSize);
+  machine.vfs().pread(fd, 0, {page.data(), page.size()});
+  std::printf("route counts: %llu fine, %llu block\n",
+              static_cast<unsigned long long>(
+                  pipette.pipette_stats().fine_reads),
+              static_cast<unsigned long long>(
+                  pipette.pipette_stats().block_reads));
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Trace replay: run your own request trace against any of the five systems
+// and compare. Trace format, one request per line:
+//
+//     <offset> <len> [R|W]
+//
+// e.g.   4096 128 R
+//        8192 4096 W
+//
+//   $ ./examples/trace_replay <trace-file> [block|mmio|dma|nocache|pipette]
+//
+// With no arguments, a small built-in demonstration trace is replayed on
+// block I/O and Pipette.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/machine.h"
+
+using namespace pipette;
+
+namespace {
+
+struct TraceEntry {
+  std::uint64_t offset;
+  std::uint32_t len;
+  bool write;
+};
+
+std::vector<TraceEntry> load_trace(const char* path) {
+  std::vector<TraceEntry> trace;
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open trace %s\n", path);
+    std::exit(1);
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    TraceEntry e{0, 0, false};
+    std::string rw = "R";
+    ss >> e.offset >> e.len >> rw;
+    if (e.len == 0) continue;
+    e.write = (rw == "W" || rw == "w");
+    trace.push_back(e);
+  }
+  return trace;
+}
+
+std::vector<TraceEntry> demo_trace() {
+  // A hot 128 B object re-read amid scattered reads — enough to show the
+  // fine-grained cache earning its keep.
+  std::vector<TraceEntry> trace;
+  for (int round = 0; round < 50; ++round) {
+    trace.push_back({40960 + 256, 128, false});                    // hot
+    trace.push_back({static_cast<std::uint64_t>(round) * 8192, 64, false});
+    if (round % 10 == 9) trace.push_back({40960 + 256, 128, true});  // update
+  }
+  return trace;
+}
+
+PathKind parse_kind(const char* s) {
+  if (std::strcmp(s, "mmio") == 0) return PathKind::kTwoBMmio;
+  if (std::strcmp(s, "dma") == 0) return PathKind::kTwoBDma;
+  if (std::strcmp(s, "nocache") == 0) return PathKind::kPipetteNoCache;
+  if (std::strcmp(s, "pipette") == 0) return PathKind::kPipette;
+  return PathKind::kBlockIo;
+}
+
+void replay(const std::vector<TraceEntry>& trace, PathKind kind) {
+  std::uint64_t max_end = 1;
+  for (const TraceEntry& e : trace)
+    max_end = std::max(max_end, e.offset + e.len);
+  const std::uint64_t file_size = (max_end + kMiB) & ~(kMiB - 1);
+
+  MachineConfig config = default_machine(kind);
+  const std::vector<FileSpec> files = {{"trace.dat", file_size}};
+  Machine machine(config, files);
+  const int fd = machine.vfs().open("trace.dat", machine.open_flags(true));
+
+  std::vector<std::uint8_t> buf(64 * 1024);
+  SimDuration total = 0;
+  for (const TraceEntry& e : trace) {
+    if (e.len > buf.size()) continue;
+    if (e.write) {
+      total += machine.vfs().pwrite(fd, e.offset, {buf.data(), e.len});
+    } else {
+      total += machine.vfs().pread(fd, e.offset, {buf.data(), e.len});
+    }
+  }
+  std::printf("%-18s %8zu ops  %10.2f us total  %8.2f us mean  %9.1f KiB moved\n",
+              to_string(kind), trace.size(), to_us(total),
+              to_us(total) / static_cast<double>(trace.size()),
+              static_cast<double>(machine.io_traffic_bytes()) / 1024.0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<TraceEntry> trace =
+      argc > 1 ? load_trace(argv[1]) : demo_trace();
+  if (trace.empty()) {
+    std::fprintf(stderr, "empty trace\n");
+    return 1;
+  }
+  if (argc > 2) {
+    replay(trace, parse_kind(argv[2]));
+  } else {
+    replay(trace, PathKind::kBlockIo);
+    replay(trace, PathKind::kPipette);
+  }
+  return 0;
+}

@@ -1,0 +1,116 @@
+#include "blockio/block_layer.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace pipette {
+
+std::vector<std::pair<Lba, std::uint32_t>> BlockLayer::merge(
+    std::vector<Lba> lbas) {
+  std::vector<std::pair<Lba, std::uint32_t>> runs;
+  if (lbas.empty()) return runs;
+  std::sort(lbas.begin(), lbas.end());
+  lbas.erase(std::unique(lbas.begin(), lbas.end()), lbas.end());
+  runs.emplace_back(lbas[0], 1);
+  for (std::size_t i = 1; i < lbas.size(); ++i) {
+    auto& [start, count] = runs.back();
+    if (lbas[i] == start + count) {
+      ++count;
+    } else {
+      runs.emplace_back(lbas[i], 1);
+    }
+  }
+  return runs;
+}
+
+void BlockLayer::read_pages(
+    std::vector<Lba> lbas,
+    const std::function<void(Lba, const std::uint8_t*)>& sink) {
+  if (lbas.empty()) return;
+  stats_.page_requests += lbas.size();
+  const auto runs = merge(std::move(lbas));
+  stats_.merged_requests += runs.size();
+
+  // Per-request block-layer CPU cost is serial (one submitting thread).
+  sim_.advance(timing_.block_layer_per_request * runs.size());
+
+  // One scratch buffer per run; commands are in flight concurrently.
+  struct Pending {
+    Lba start;
+    std::uint32_t count;
+    std::vector<std::uint8_t> buf;
+  };
+  std::vector<Pending> pending(runs.size());
+  std::size_t remaining = runs.size();
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    pending[i].start = runs[i].first;
+    pending[i].count = runs[i].second;
+    pending[i].buf.resize(static_cast<std::size_t>(runs[i].second) *
+                          kBlockSize);
+    Command cmd;
+    cmd.op = Opcode::kRead;
+    cmd.lba = runs[i].first;
+    cmd.nlb = runs[i].second;
+    cmd.host_dest = {pending[i].buf.data(), pending[i].buf.size()};
+    ssd_.submit(std::move(cmd),
+                [&remaining](const CommandResult&) { --remaining; });
+  }
+  const bool done =
+      sim_.run_until_condition([&remaining] { return remaining == 0; });
+  PIPETTE_ASSERT_MSG(done, "device never completed block reads");
+
+  for (const Pending& p : pending) {
+    for (std::uint32_t b = 0; b < p.count; ++b)
+      sink(p.start + b, p.buf.data() + static_cast<std::size_t>(b) * kBlockSize);
+  }
+}
+
+void BlockLayer::read_pages_async(
+    std::vector<Lba> lbas,
+    std::function<void(Lba, const std::uint8_t*)> sink) {
+  if (lbas.empty()) return;
+  stats_.page_requests += lbas.size();
+  const auto runs = merge(std::move(lbas));
+  stats_.merged_requests += runs.size();
+  sim_.advance(timing_.block_layer_per_request * runs.size());
+
+  auto shared_sink =
+      std::make_shared<std::function<void(Lba, const std::uint8_t*)>>(
+          std::move(sink));
+  for (const auto& [start, count] : runs) {
+    auto buf = std::make_shared<std::vector<std::uint8_t>>(
+        static_cast<std::size_t>(count) * kBlockSize);
+    Command cmd;
+    cmd.op = Opcode::kRead;
+    cmd.lba = start;
+    cmd.nlb = count;
+    cmd.host_dest = {buf->data(), buf->size()};
+    const Lba run_start = start;
+    const std::uint32_t run_count = count;
+    ssd_.submit(std::move(cmd), [shared_sink, buf, run_start,
+                                 run_count](const CommandResult&) {
+      for (std::uint32_t b = 0; b < run_count; ++b)
+        (*shared_sink)(run_start + b,
+                       buf->data() + static_cast<std::size_t>(b) * kBlockSize);
+    });
+  }
+}
+
+void BlockLayer::write_page(Lba lba, const std::uint8_t* data) {
+  ++stats_.merged_requests;
+  sim_.advance(timing_.block_layer_per_request);
+  Command cmd;
+  cmd.op = Opcode::kWrite;
+  cmd.lba = lba;
+  cmd.nlb = 1;
+  cmd.write_data.assign(data, data + kBlockSize);
+  bool finished = false;
+  ssd_.submit(std::move(cmd),
+              [&finished](const CommandResult&) { finished = true; });
+  const bool done =
+      sim_.run_until_condition([&finished] { return finished; });
+  PIPETTE_ASSERT_MSG(done, "device never completed the write");
+}
+
+}  // namespace pipette

@@ -1,0 +1,63 @@
+// Generic block layer: request merging and dispatch to the NVMe device.
+//
+// The kernel's block layer takes the page-granular reads the page cache
+// wants, merges physically contiguous ones into larger requests (plug/merge)
+// and dispatches each merged request to the driver, paying per-request CPU
+// cost. The simulation is closed-loop: read_pages() runs the simulator
+// until every merged request completes, delivering each page's bytes to the
+// caller's sink, and leaves the clock at completion time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "des/simulator.h"
+#include "hostmem/host_timing.h"
+#include "ssd/controller.h"
+
+namespace pipette {
+
+struct BlockLayerStats {
+  std::uint64_t page_requests = 0;    // pages callers asked for
+  std::uint64_t merged_requests = 0;  // commands actually dispatched
+};
+
+class BlockLayer {
+ public:
+  BlockLayer(Simulator& sim, SsdController& ssd, HostTiming timing)
+      : sim_(sim), ssd_(ssd), timing_(timing) {}
+
+  /// Sort + merge `lbas` into contiguous runs (duplicates collapsed), issue
+  /// one device read per run, and deliver each page to `sink` once all runs
+  /// complete. Returns only after completion (clock advanced).
+  void read_pages(
+      std::vector<Lba> lbas,
+      const std::function<void(Lba, const std::uint8_t*)>& sink);
+
+  /// Asynchronous variant (read-ahead): submits the merged runs and returns
+  /// immediately; `sink` runs at each run's completion, while the caller is
+  /// doing something else. The kernel's async read-ahead works this way —
+  /// only the demanded pages block the reader.
+  void read_pages_async(std::vector<Lba> lbas,
+                        std::function<void(Lba, const std::uint8_t*)> sink);
+
+  /// Write one page synchronously (used by writeback and flush).
+  void write_page(Lba lba, const std::uint8_t* data);
+
+  /// Merge helper, exposed for unit tests: sorted unique runs of
+  /// {start, count}.
+  static std::vector<std::pair<Lba, std::uint32_t>> merge(
+      std::vector<Lba> lbas);
+
+  const BlockLayerStats& stats() const { return stats_; }
+
+ private:
+  Simulator& sim_;
+  SsdController& ssd_;
+  HostTiming timing_;
+  BlockLayerStats stats_;
+};
+
+}  // namespace pipette

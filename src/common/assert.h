@@ -1,0 +1,32 @@
+// Lightweight invariant checking for the Pipette simulation library.
+//
+// PIPETTE_ASSERT is active in all build types: the simulator's correctness
+// depends on structural invariants (ring indices, slab bookkeeping, FTL
+// mappings) and silently corrupt state would invalidate every measurement.
+// The cost is a predictable branch, which is negligible next to the
+// event-queue work done per simulated request.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pipette {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "pipette: assertion failed: %s at %s:%d%s%s\n", expr,
+               file, line, msg ? " — " : "", msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace pipette
+
+#define PIPETTE_ASSERT(expr)                                          \
+  do {                                                                \
+    if (!(expr)) ::pipette::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define PIPETTE_ASSERT_MSG(expr, msg)                                 \
+  do {                                                                \
+    if (!(expr)) ::pipette::assert_fail(#expr, __FILE__, __LINE__, msg); \
+  } while (0)

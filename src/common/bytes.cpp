@@ -1,0 +1,50 @@
+#include "common/bytes.h"
+
+#include <cstring>
+
+#include "common/rng.h"
+
+namespace pipette {
+
+namespace {
+// One 64-bit word of pattern content; word index is offset / 8.
+inline std::uint64_t pattern_word(std::uint64_t key, std::uint64_t word_idx) {
+  return mix64(key * 0x9e3779b97f4a7c15ULL + word_idx + 1);
+}
+}  // namespace
+
+std::uint8_t pattern_byte(std::uint64_t key, std::uint64_t offset) {
+  const std::uint64_t w = pattern_word(key, offset >> 3);
+  return static_cast<std::uint8_t>(w >> ((offset & 7) * 8));
+}
+
+void fill_pattern(std::span<std::uint8_t> out, std::uint64_t key,
+                  std::uint64_t start_offset) {
+  std::size_t i = 0;
+  std::uint64_t off = start_offset;
+  // Head: unaligned leading bytes.
+  while (i < out.size() && (off & 7) != 0) {
+    out[i++] = pattern_byte(key, off++);
+  }
+  // Body: whole words.
+  while (i + 8 <= out.size()) {
+    const std::uint64_t w = pattern_word(key, off >> 3);
+    std::memcpy(out.data() + i, &w, 8);
+    i += 8;
+    off += 8;
+  }
+  // Tail.
+  while (i < out.size()) {
+    out[i++] = pattern_byte(key, off++);
+  }
+}
+
+bool check_pattern(std::span<const std::uint8_t> data, std::uint64_t key,
+                   std::uint64_t start_offset) {
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (data[i] != pattern_byte(key, start_offset + i)) return false;
+  }
+  return true;
+}
+
+}  // namespace pipette

@@ -1,0 +1,100 @@
+// Generic LRU map used by the host page cache, the device-side read buffer,
+// and tests. Hash lookup + intrusive recency list; capacity is a count of
+// entries (callers translate bytes to entries at their own granularity).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "common/assert.h"
+
+namespace pipette {
+
+template <typename K, typename V, typename Hash = std::hash<K>>
+class LruMap {
+ public:
+  explicit LruMap(std::size_t capacity) : capacity_(capacity) {
+    PIPETTE_ASSERT(capacity > 0);
+  }
+
+  /// Look up and promote to most-recently-used. nullptr if absent.
+  V* find(const K& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) return nullptr;
+    order_.splice(order_.begin(), order_, it->second);
+    return &it->second->second;
+  }
+
+  /// Look up without touching recency. nullptr if absent.
+  const V* peek(const K& key) const {
+    auto it = index_.find(key);
+    return it == index_.end() ? nullptr : &it->second->second;
+  }
+
+  /// Insert or overwrite; promotes to MRU. If the insert grows the map past
+  /// capacity, the LRU entry is evicted and returned.
+  std::optional<std::pair<K, V>> insert(const K& key, V value) {
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return std::nullopt;
+    }
+    order_.emplace_front(key, std::move(value));
+    index_.emplace(key, order_.begin());
+    if (order_.size() <= capacity_) return std::nullopt;
+    auto victim = std::prev(order_.end());
+    std::pair<K, V> evicted = std::move(*victim);
+    index_.erase(evicted.first);
+    order_.erase(victim);
+    return evicted;
+  }
+
+  bool erase(const K& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) return false;
+    order_.erase(it->second);
+    index_.erase(it);
+    return true;
+  }
+
+  /// The least-recently-used entry, or nullptr when empty.
+  const std::pair<K, V>* lru() const {
+    return order_.empty() ? nullptr : &order_.back();
+  }
+
+  std::size_t size() const { return order_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  bool empty() const { return order_.empty(); }
+
+  /// Visit every entry from MRU to LRU without changing recency.
+  template <typename F>
+  void for_each(F&& fn) {
+    for (auto& [key, value] : order_) fn(key, value);
+  }
+
+  /// Shrink/grow capacity; shrinking evicts LRU entries, which are passed to
+  /// `on_evict` (may be a no-op lambda).
+  template <typename F>
+  void set_capacity(std::size_t capacity, F&& on_evict) {
+    PIPETTE_ASSERT(capacity > 0);
+    capacity_ = capacity;
+    while (order_.size() > capacity_) {
+      auto victim = std::prev(order_.end());
+      on_evict(victim->first, victim->second);
+      index_.erase(victim->first);
+      order_.erase(victim);
+    }
+  }
+
+ private:
+  using Order = std::list<std::pair<K, V>>;
+  std::size_t capacity_;
+  Order order_;  // front = MRU, back = LRU
+  std::unordered_map<K, typename Order::iterator, Hash> index_;
+};
+
+}  // namespace pipette

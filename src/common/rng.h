@@ -1,0 +1,44 @@
+// Deterministic pseudo-random number generation.
+//
+// The simulator must be reproducible across runs and platforms, so we avoid
+// std::mt19937/std::uniform_int_distribution (whose outputs are unspecified
+// across standard library implementations) in favour of a fixed xoshiro256**
+// implementation seeded through SplitMix64.
+#pragma once
+
+#include <cstdint>
+
+namespace pipette {
+
+/// SplitMix64: used to expand a single 64-bit seed into xoshiro state, and
+/// as a cheap stateless hash for deterministic synthetic data content.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Stateless mixing function (one SplitMix64 round on `x`).
+std::uint64_t mix64(std::uint64_t x);
+
+/// xoshiro256** 1.0 by Blackman & Vigna — fast, high-quality, deterministic.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform value in [0, bound) with unbiased rejection (Lemire's method).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform value in [lo, hi] inclusive.
+  std::uint64_t next_in(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli trial with probability p of returning true.
+  bool next_bool(double p);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace pipette

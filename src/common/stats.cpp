@@ -1,0 +1,112 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+#include "common/assert.h"
+
+namespace pipette {
+
+void OnlineStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+LatencyHistogram::LatencyHistogram() : buckets_(kBuckets, 0) {}
+
+int LatencyHistogram::bucket_index(SimDuration d) {
+  if (d < kSubBuckets) return static_cast<int>(d);
+  const int msb = 63 - std::countl_zero(static_cast<std::uint64_t>(d));
+  const int octave = msb - kSubBucketBits;
+  const int sub = static_cast<int>(d >> octave) & (kSubBuckets - 1);
+  return kSubBuckets + octave * kSubBuckets + sub;
+}
+
+SimDuration LatencyHistogram::bucket_value(int idx) {
+  if (idx < kSubBuckets) return static_cast<SimDuration>(idx);
+  idx -= kSubBuckets;
+  const int octave = idx / kSubBuckets;
+  const int sub = idx % kSubBuckets;
+  // Midpoint of the bucket's value range.
+  const SimDuration base =
+      (static_cast<SimDuration>(kSubBuckets + sub)) << octave;
+  const SimDuration width = SimDuration{1} << octave;
+  return base + width / 2;
+}
+
+void LatencyHistogram::record(SimDuration d) {
+  const int idx = bucket_index(d);
+  PIPETTE_ASSERT(idx >= 0 && idx < kBuckets);
+  ++buckets_[static_cast<std::size_t>(idx)];
+  if (count_ == 0) {
+    min_ = max_ = d;
+  } else {
+    min_ = std::min(min_, d);
+    max_ = std::max(max_, d);
+  }
+  ++count_;
+  total_ns_ += d;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (int i = 0; i < kBuckets; ++i)
+    buckets_[static_cast<std::size_t>(i)] +=
+        other.buckets_[static_cast<std::size_t>(i)];
+  if (other.count_ > 0) {
+    if (count_ == 0) {
+      min_ = other.min_;
+      max_ = other.max_;
+    } else {
+      min_ = std::min(min_, other.min_);
+      max_ = std::max(max_, other.max_);
+    }
+  }
+  count_ += other.count_;
+  total_ns_ += other.total_ns_;
+}
+
+double LatencyHistogram::mean_ns() const {
+  return count_ == 0
+             ? 0.0
+             : static_cast<double>(total_ns_) / static_cast<double>(count_);
+}
+
+SimDuration LatencyHistogram::percentile(double p) const {
+  PIPETTE_ASSERT(p >= 0.0 && p <= 100.0);
+  if (count_ == 0) return 0;
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count_)));
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[static_cast<std::size_t>(i)];
+    if (seen >= target && seen > 0) return bucket_value(i);
+  }
+  return max_;
+}
+
+std::string LatencyHistogram::summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "n=%llu mean=%.2fus p50=%.2fus p99=%.2fus max=%.2fus",
+                static_cast<unsigned long long>(count_), mean_ns() / 1e3,
+                to_us(percentile(50)), to_us(percentile(99)), to_us(max()));
+  return buf;
+}
+
+}  // namespace pipette

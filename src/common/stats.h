@@ -1,0 +1,94 @@
+// Measurement primitives used by every layer of the simulated stack:
+// counters, ratio counters (hits/accesses), online mean/variance, and a
+// logarithmic latency histogram with percentile queries.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace pipette {
+
+/// Hit/access ratio counter — the primitive behind the paper's adaptive
+/// mechanisms (§3.2.2 reuse ratio, §3.2.4 cache hit ratios).
+class RatioCounter {
+ public:
+  void record(bool hit) {
+    ++accesses_;
+    if (hit) ++hits_;
+  }
+  void reset() { hits_ = accesses_ = 0; }
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return accesses_ - hits_; }
+  std::uint64_t accesses() const { return accesses_; }
+
+  /// Ratio in [0,1]; 0 when nothing was recorded.
+  double ratio() const {
+    return accesses_ == 0 ? 0.0
+                          : static_cast<double>(hits_) /
+                                static_cast<double>(accesses_);
+  }
+
+ private:
+  std::uint64_t hits_ = 0;
+  std::uint64_t accesses_ = 0;
+};
+
+/// Streaming mean/variance (Welford). Used for latency summaries.
+class OnlineStats {
+ public:
+  void add(double x);
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Histogram over durations with logarithmic buckets (HdrHistogram-style:
+/// power-of-two ranges, each split into 16 linear sub-buckets, <1.5% value
+/// error). Supports percentile queries without storing samples.
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  void record(SimDuration d);
+  void merge(const LatencyHistogram& other);
+
+  std::uint64_t count() const { return count_; }
+  double mean_ns() const;
+  /// Percentile in [0, 100]; returns a representative bucket value (ns).
+  SimDuration percentile(double p) const;
+  SimDuration min() const { return count_ ? min_ : 0; }
+  SimDuration max() const { return count_ ? max_ : 0; }
+
+  /// Human-readable one-line summary (mean/p50/p99/max in µs).
+  std::string summary() const;
+
+ private:
+  static constexpr int kSubBucketBits = 4;  // 16 sub-buckets per octave
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+  static constexpr int kBuckets = (64 - kSubBucketBits) * kSubBuckets;
+
+  static int bucket_index(SimDuration d);
+  static SimDuration bucket_value(int idx);
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::uint64_t total_ns_ = 0;
+  SimDuration min_ = 0;
+  SimDuration max_ = 0;
+};
+
+}  // namespace pipette

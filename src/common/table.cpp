@@ -1,0 +1,131 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "common/assert.h"
+
+namespace pipette {
+
+Table::Table(std::vector<std::string> column_headers)
+    : headers_(std::move(column_headers)) {
+  PIPETTE_ASSERT(!headers_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  PIPETTE_ASSERT_MSG(cells.size() <= headers_.size(),
+                     "row has more cells than the table has columns");
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::fmt_times(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*fx", precision, v);
+  return buf;
+}
+
+std::string Table::to_text() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    width[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  std::string out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out += cells[c];
+      out.append(width[c] - cells[c].size(), ' ');
+      if (c + 1 < cells.size()) out += "  ";
+    }
+    out += '\n';
+  };
+  emit_row(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out.append(width[c], '-');
+    if (c + 1 < headers_.size()) out += "  ";
+  }
+  out += '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out;
+}
+
+namespace {
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char ch : s) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+std::string Table::to_csv() const {
+  std::string out;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out += csv_escape(cells[c]);
+      if (c + 1 < cells.size()) out += ',';
+    }
+    out += '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return out;
+}
+
+bool Table::write_csv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "pipette: cannot write CSV to %s\n", path.c_str());
+    return false;
+  }
+  f << to_csv();
+  return static_cast<bool>(f);
+}
+
+BenchArgs BenchArgs::parse(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "pipette: %s requires a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--csv") == 0) {
+      args.csv_path = need_value("--csv");
+    } else if (std::strcmp(argv[i], "--requests") == 0) {
+      args.requests = std::strtoull(need_value("--requests"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      args.seed = std::strtoull(need_value("--seed"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      args.quick = true;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf(
+          "usage: %s [--requests N] [--seed S] [--quick] [--csv PATH]\n",
+          argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "pipette: unknown flag %s (see --help)\n", argv[i]);
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+}  // namespace pipette

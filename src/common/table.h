@@ -1,0 +1,52 @@
+// Result-table rendering for the benchmark harness.
+//
+// Each bench binary reproduces one table or figure from the paper and prints
+// it as an aligned text table (plus optional CSV), so TablePrinter is the
+// single place that controls that formatting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pipette {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> column_headers);
+
+  /// Appends a row; cells beyond the header count are rejected.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience cell formatting.
+  static std::string fmt(double v, int precision = 1);
+  static std::string fmt_times(double v, int precision = 2);  // "12.3x"
+
+  /// Render as an aligned text table with a separator under the header.
+  std::string to_text() const;
+
+  /// Render as CSV (RFC-4180 quoting for cells containing , " or newline).
+  std::string to_csv() const;
+
+  /// Write CSV to `path`; returns false (and prints to stderr) on failure.
+  bool write_csv(const std::string& path) const;
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t columns() const { return headers_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Parses the common bench CLI: --csv <path>, --requests N, --quick, --seed S.
+struct BenchArgs {
+  std::string csv_path;         // empty = no CSV
+  std::uint64_t requests = 0;   // 0 = bench default
+  std::uint64_t seed = 42;
+  bool quick = false;           // reduced request count for smoke runs
+
+  static BenchArgs parse(int argc, char** argv);
+};
+
+}  // namespace pipette

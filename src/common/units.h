@@ -1,0 +1,35 @@
+// Core unit types shared across the whole library.
+//
+// All simulated time is kept in integral nanoseconds (SimTime) so that event
+// ordering is exact and runs are bit-reproducible. All sizes are bytes.
+#pragma once
+
+#include <cstdint>
+
+namespace pipette {
+
+/// Simulated time in nanoseconds since simulation start.
+using SimTime = std::uint64_t;
+
+/// A span of simulated time, also in nanoseconds.
+using SimDuration = std::uint64_t;
+
+constexpr SimDuration kNs = 1;
+constexpr SimDuration kUs = 1000 * kNs;
+constexpr SimDuration kMs = 1000 * kUs;
+constexpr SimDuration kSec = 1000 * kMs;
+
+constexpr std::uint64_t kKiB = 1024;
+constexpr std::uint64_t kMiB = 1024 * kKiB;
+constexpr std::uint64_t kGiB = 1024 * kMiB;
+
+/// Convert a nanosecond duration to (floating) microseconds for reporting.
+constexpr double to_us(SimDuration d) { return static_cast<double>(d) / 1e3; }
+
+/// Convert a byte count to (floating) MiB, matching the paper's "MB" tables
+/// (the paper's numbers are in fact MiB: 2.5e6 * 128 B = 305.2 "MB").
+constexpr double to_mib(std::uint64_t bytes) {
+  return static_cast<double>(bytes) / static_cast<double>(kMiB);
+}
+
+}  // namespace pipette

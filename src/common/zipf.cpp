@@ -1,0 +1,107 @@
+#include "common/zipf.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace pipette {
+
+namespace {
+
+// helper1(x) = log1p(x) / x, continuous at 0 (value 1); series near 0 for
+// numerical stability. Used by Hörmann's inverse integral.
+double helper1(double x) {
+  if (std::abs(x) > 1e-8) return std::log1p(x) / x;
+  return 1.0 - x * (0.5 - x * (1.0 / 3.0 - 0.25 * x));
+}
+
+// helper2(x) = expm1(x) / x, continuous at 0 (value 1).
+double helper2(double x) {
+  if (std::abs(x) > 1e-8) return std::expm1(x) / x;
+  return 1.0 + x * 0.5 * (1.0 + x / 3.0 * (1.0 + 0.25 * x));
+}
+
+}  // namespace
+
+ZipfGenerator::ZipfGenerator(std::uint64_t n, double alpha)
+    : n_(n), alpha_(alpha) {
+  PIPETTE_ASSERT(n >= 1);
+  PIPETTE_ASSERT(alpha > 0.0);
+  h_integral_x1_ = h_integral(1.5) - 1.0;
+  h_integral_num_elements_ = h_integral(static_cast<double>(n_) + 0.5);
+  s_ = 2.0 - h_integral_inverse(h_integral(2.5) - h(2.0));
+}
+
+double ZipfGenerator::h(double x) const {
+  return std::exp(-alpha_ * std::log(x));
+}
+
+double ZipfGenerator::h_integral(double x) const {
+  const double log_x = std::log(x);
+  return helper2((1.0 - alpha_) * log_x) * log_x;
+}
+
+double ZipfGenerator::h_integral_inverse(double x) const {
+  double t = x * (1.0 - alpha_);
+  if (t < -1.0) t = -1.0;  // guard against rounding below the pole
+  return std::exp(helper1(t) * x);
+}
+
+std::uint64_t ZipfGenerator::sample(Rng& rng) const {
+  if (n_ == 1) return 0;
+  while (true) {
+    const double u =
+        h_integral_num_elements_ +
+        rng.next_double() * (h_integral_x1_ - h_integral_num_elements_);
+    const double x = h_integral_inverse(u);
+    std::uint64_t k1;  // 1-based rank
+    if (x < 1.0) {
+      k1 = 1;
+    } else if (x >= static_cast<double>(n_)) {
+      k1 = n_;
+    } else {
+      k1 = static_cast<std::uint64_t>(x + 0.5);
+      if (k1 < 1) k1 = 1;
+      if (k1 > n_) k1 = n_;
+    }
+    const double dk = static_cast<double>(k1);
+    if (dk - x <= s_ || u >= h_integral(dk + 0.5) - h(dk)) {
+      return k1 - 1;
+    }
+  }
+}
+
+ScatteredZipf::ScatteredZipf(std::uint64_t n, double alpha,
+                             std::uint64_t permutation_seed)
+    : zipf_(n, alpha), n_(n), seed_(permutation_seed) {
+  // Feistel network over the smallest even-width bit domain covering n;
+  // out-of-range outputs are cycle-walked back into range.
+  half_bits_ = 1;
+  while ((1ULL << (2 * half_bits_)) < n_) ++half_bits_;
+  half_mask_ = (1ULL << half_bits_) - 1;
+}
+
+std::uint64_t ScatteredZipf::permute(std::uint64_t rank) const {
+  PIPETTE_ASSERT(rank < n_);
+  std::uint64_t v = rank;
+  do {
+    std::uint64_t left = (v >> half_bits_) & half_mask_;
+    std::uint64_t right = v & half_mask_;
+    for (int round = 0; round < 4; ++round) {
+      const std::uint64_t f =
+          mix64(right ^ seed_ ^ (static_cast<std::uint64_t>(round) << 32)) &
+          half_mask_;
+      const std::uint64_t next_left = right;
+      right = left ^ f;
+      left = next_left;
+    }
+    v = (left << half_bits_) | right;
+  } while (v >= n_);  // cycle-walk: permutation of the domain stays closed
+  return v;
+}
+
+std::uint64_t ScatteredZipf::sample(Rng& rng) const {
+  return permute(zipf_.sample(rng));
+}
+
+}  // namespace pipette

@@ -1,0 +1,65 @@
+// Zipfian distribution sampling.
+//
+// The paper's synthetic workloads draw file offsets from a zipfian
+// distribution with exponent alpha = 0.8 (Table 1, note 2). Sampling must be
+// O(1) per draw for populations in the millions, so we use Hörmann's
+// rejection-inversion method ("Rejection-inversion to generate variates from
+// monotone discrete distributions", ACM TOMACS 1996), the same algorithm
+// used by e.g. Apache Commons and YCSB-class generators.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace pipette {
+
+/// Samples ranks in [0, n) with P(rank k) proportional to 1 / (k+1)^alpha.
+/// Rank 0 is the most popular element. Callers that want the popularity
+/// ordering scattered over a key space should compose with a permutation
+/// (see ScatteredZipf below).
+class ZipfGenerator {
+ public:
+  /// n >= 1, alpha > 0 (alpha == 1 is handled by the standard limit form).
+  ZipfGenerator(std::uint64_t n, double alpha);
+
+  std::uint64_t sample(Rng& rng) const;
+
+  std::uint64_t population() const { return n_; }
+  double alpha() const { return alpha_; }
+
+ private:
+  double h(double x) const;
+  double h_integral(double x) const;
+  double h_integral_inverse(double x) const;
+
+  std::uint64_t n_;
+  double alpha_;
+  double h_integral_x1_;
+  double h_integral_num_elements_;
+  double s_;
+};
+
+/// Zipfian sampler whose popularity ranks are scattered pseudo-randomly
+/// across [0, n): the hot elements are spread over the whole key space, the
+/// way hot objects are spread across a real file. Uses a Feistel-style
+/// permutation so no O(n) table is needed.
+class ScatteredZipf {
+ public:
+  ScatteredZipf(std::uint64_t n, double alpha, std::uint64_t permutation_seed);
+
+  std::uint64_t sample(Rng& rng) const;
+  std::uint64_t population() const { return zipf_.population(); }
+
+  /// The permutation itself (rank -> key), exposed for tests.
+  std::uint64_t permute(std::uint64_t rank) const;
+
+ private:
+  ZipfGenerator zipf_;
+  std::uint64_t n_;
+  std::uint64_t seed_;
+  std::uint64_t half_bits_;
+  std::uint64_t half_mask_;
+};
+
+}  // namespace pipette

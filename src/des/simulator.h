@@ -1,0 +1,73 @@
+// Discrete-event simulation core.
+//
+// The whole storage stack is simulated against one Simulator instance. Host
+// code runs "inline" at the current simulated time and advances the clock
+// with advance(); asynchronous device work (NAND array operations, DMA
+// completions, maintenance threads) is scheduled as events. Ties are broken
+// by insertion order, making every run fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/units.h"
+
+namespace pipette {
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulated time.
+  SimTime now() const { return now_; }
+
+  /// Move the clock forward by `d` without running events scheduled inside
+  /// the skipped interval (used for pure host CPU time, during which no
+  /// device event can affect the host's sequential execution). Events that
+  /// come due are NOT lost; they run at the next run_until()/run_all().
+  void advance(SimDuration d) { now_ += d; }
+
+  /// Schedule `cb` to run at now() + delay.
+  void schedule(SimDuration delay, Callback cb);
+
+  /// Schedule `cb` at an absolute time (>= now()).
+  void schedule_at(SimTime when, Callback cb);
+
+  /// Run events until the queue is empty or the next event is after `t`;
+  /// the clock ends at max(now, min(t, time of last event run)).
+  void run_until(SimTime t);
+
+  /// Run every scheduled event.
+  void run_all();
+
+  /// Run events until `done` returns true (checked after each event).
+  /// Returns false if the queue drained first.
+  bool run_until_condition(const std::function<bool()>& done);
+
+  std::size_t pending_events() const { return queue_.size(); }
+  std::uint64_t events_executed() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;  // FIFO tie-break for determinism
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  void pop_and_run();
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace pipette

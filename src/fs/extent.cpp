@@ -1,0 +1,48 @@
+#include "fs/extent.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace pipette {
+
+void ExtentTree::append(const Extent& extent) {
+  PIPETTE_ASSERT(extent.count > 0);
+  if (!extents_.empty()) {
+    const Extent& last = extents_.back();
+    PIPETTE_ASSERT_MSG(
+        extent.logical_block >= last.logical_block + last.count,
+        "extents must be appended in logical order without overlap");
+  }
+  extents_.push_back(extent);
+  total_blocks_ =
+      std::max(total_blocks_, extent.logical_block + extent.count);
+}
+
+Lba ExtentTree::map_block(std::uint64_t logical_block) const {
+  // Find the last extent whose logical_block <= target.
+  auto it = std::upper_bound(
+      extents_.begin(), extents_.end(), logical_block,
+      [](std::uint64_t lb, const Extent& e) { return lb < e.logical_block; });
+  PIPETTE_ASSERT_MSG(it != extents_.begin(), "block before first extent");
+  --it;
+  PIPETTE_ASSERT_MSG(logical_block < it->logical_block + it->count,
+                     "block falls in an extent gap");
+  return it->start_lba + (logical_block - it->logical_block);
+}
+
+void ExtentTree::extract(std::uint64_t offset, std::uint64_t len,
+                         std::vector<LbaRange>& out) const {
+  std::uint64_t pos = offset;
+  const std::uint64_t end = offset + len;
+  while (pos < end) {
+    const std::uint64_t block = pos / kBlockSize;
+    const std::uint32_t in_block = static_cast<std::uint32_t>(pos % kBlockSize);
+    const std::uint32_t take = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(kBlockSize - in_block, end - pos));
+    out.push_back({map_block(block), in_block, take});
+    pos += take;
+  }
+}
+
+}  // namespace pipette

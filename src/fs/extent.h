@@ -1,0 +1,52 @@
+// Ext4-style extent mapping: each file's logical block space is covered by
+// sorted, non-overlapping extents mapping runs of logical blocks to runs of
+// LBAs. The LBA Extractor (paper §3.1.2) resolves byte ranges to the pages
+// holding them so the fine-grained path can bypass the generic block layer.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ssd/types.h"
+
+namespace pipette {
+
+struct Extent {
+  std::uint64_t logical_block = 0;  // first logical 4 KiB block covered
+  Lba start_lba = 0;                // first device block
+  std::uint64_t count = 0;          // blocks covered
+
+  bool operator==(const Extent&) const = default;
+};
+
+/// A resolved piece of a byte range: which LBA holds it and where inside.
+struct LbaRange {
+  Lba lba = kInvalidLba;
+  std::uint32_t offset = 0;  // byte offset within the block
+  std::uint32_t len = 0;
+};
+
+class ExtentTree {
+ public:
+  /// Extents must be appended in logical order, contiguous coverage is not
+  /// required to be gap-free but lookups must land inside an extent.
+  void append(const Extent& extent);
+
+  /// LBA of a logical block (binary search over extents).
+  Lba map_block(std::uint64_t logical_block) const;
+
+  /// Resolve [offset, offset+len) in bytes into per-block LbaRanges.
+  /// This is the LBA Extractor's core operation.
+  void extract(std::uint64_t offset, std::uint64_t len,
+               std::vector<LbaRange>& out) const;
+
+  std::size_t extent_count() const { return extents_.size(); }
+  std::uint64_t blocks() const { return total_blocks_; }
+  const std::vector<Extent>& extents() const { return extents_; }
+
+ private:
+  std::vector<Extent> extents_;
+  std::uint64_t total_blocks_ = 0;
+};
+
+}  // namespace pipette

@@ -1,0 +1,70 @@
+#include "fs/filesystem.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace pipette {
+
+FileSystem::FileSystem(std::uint64_t lba_count, std::uint64_t reserved_lbas)
+    : lba_count_(lba_count), reserved_(reserved_lbas), next_lba_(reserved_lbas) {
+  PIPETTE_ASSERT(reserved_lbas < lba_count);
+}
+
+FileId FileSystem::create(const std::string& name, std::uint64_t size,
+                          std::uint64_t max_extent_blocks,
+                          std::uint64_t gap_blocks) {
+  PIPETTE_ASSERT_MSG(names_.find(name) == names_.end(),
+                     "file already exists");
+  PIPETTE_ASSERT(size > 0);
+  const std::uint64_t blocks = (size + kBlockSize - 1) / kBlockSize;
+  if (max_extent_blocks == 0) max_extent_blocks = blocks;
+
+  Inode inode;
+  inode.id = static_cast<FileId>(inodes_.size());
+  inode.name = name;
+  inode.size = size;
+
+  std::uint64_t done = 0;
+  while (done < blocks) {
+    const std::uint64_t take = std::min(max_extent_blocks, blocks - done);
+    PIPETTE_ASSERT_MSG(next_lba_ + take <= lba_count_,
+                       "file system out of space");
+    inode.extents.append({done, next_lba_, take});
+    next_lba_ += take;
+    done += take;
+    if (done < blocks) {
+      PIPETTE_ASSERT_MSG(next_lba_ + gap_blocks <= lba_count_,
+                         "file system out of space (gap)");
+      next_lba_ += gap_blocks;
+    }
+  }
+
+  names_.emplace(name, inode.id);
+  inodes_.push_back(std::move(inode));
+  return inodes_.back().id;
+}
+
+FileId FileSystem::find(const std::string& name) const {
+  auto it = names_.find(name);
+  return it == names_.end() ? kInvalidFileId : it->second;
+}
+
+const Inode& FileSystem::inode(FileId id) const {
+  PIPETTE_ASSERT(id < inodes_.size());
+  return inodes_[id];
+}
+
+void FileSystem::extract_lbas(FileId id, std::uint64_t offset,
+                              std::uint64_t len,
+                              std::vector<LbaRange>& out) const {
+  const Inode& node = inode(id);
+  // Page-granular callers (page cache fill, writeback) may touch the tail
+  // block past EOF; the inode owns whole blocks, so allow up to the
+  // block-rounded size. User-facing bounds are enforced at the VFS.
+  PIPETTE_ASSERT_MSG(offset + len <= node.extents.blocks() * kBlockSize,
+                     "read past end of file");
+  node.extents.extract(offset, len, out);
+}
+
+}  // namespace pipette

@@ -1,0 +1,61 @@
+// A minimal ext4-like file system over the flat LBA space: a name -> inode
+// namespace, extent-based allocation with a configurable maximum extent
+// length (shorter maxima model on-disk fragmentation), and the LBA Extractor
+// entry point used by Pipette's fine-grained constructor.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "fs/extent.h"
+#include "ssd/types.h"
+
+namespace pipette {
+
+using FileId = std::uint32_t;
+constexpr FileId kInvalidFileId = ~FileId{0};
+
+struct Inode {
+  FileId id = kInvalidFileId;
+  std::string name;
+  std::uint64_t size = 0;  // bytes
+  ExtentTree extents;
+};
+
+class FileSystem {
+ public:
+  /// Manages `lba_count` blocks of the device, reserving the first
+  /// `reserved_lbas` for superblock/metadata (never allocated to files).
+  explicit FileSystem(std::uint64_t lba_count, std::uint64_t reserved_lbas = 64);
+
+  /// Create a file of `size` bytes. `max_extent_blocks` caps each extent
+  /// (0 = a single extent if space allows); smaller caps create deliberate
+  /// fragmentation, with `gap_blocks` unallocated blocks between extents.
+  FileId create(const std::string& name, std::uint64_t size,
+                std::uint64_t max_extent_blocks = 0,
+                std::uint64_t gap_blocks = 0);
+
+  /// Look up by name; kInvalidFileId if absent.
+  FileId find(const std::string& name) const;
+
+  const Inode& inode(FileId id) const;
+
+  /// The LBA Extractor (paper Fig. 2): resolve a byte range of a file to
+  /// the device blocks holding it, bypassing the generic block layer.
+  void extract_lbas(FileId id, std::uint64_t offset, std::uint64_t len,
+                    std::vector<LbaRange>& out) const;
+
+  std::uint64_t allocated_blocks() const { return next_lba_ - reserved_; }
+  std::uint64_t total_blocks() const { return lba_count_; }
+
+ private:
+  std::uint64_t lba_count_;
+  std::uint64_t reserved_;
+  std::uint64_t next_lba_;
+  std::vector<Inode> inodes_;
+  std::unordered_map<std::string, FileId> names_;
+};
+
+}  // namespace pipette

@@ -1,0 +1,59 @@
+#include "fs/vfs.h"
+
+#include "common/assert.h"
+
+namespace pipette {
+
+int Vfs::open(const std::string& name, int flags) {
+  const FileId id = fs_.find(name);
+  PIPETTE_ASSERT_MSG(id != kInvalidFileId, "open: no such file");
+  // Reuse the lowest closed slot, POSIX-style.
+  for (std::size_t i = 0; i < table_.size(); ++i) {
+    if (!table_[i].live) {
+      table_[i] = {id, flags, true};
+      return static_cast<int>(i);
+    }
+  }
+  table_.push_back({id, flags, true});
+  return static_cast<int>(table_.size() - 1);
+}
+
+void Vfs::close(int fd) {
+  PIPETTE_ASSERT(fd >= 0 && static_cast<std::size_t>(fd) < table_.size());
+  PIPETTE_ASSERT_MSG(table_[static_cast<std::size_t>(fd)].live,
+                     "close of a closed fd");
+  table_[static_cast<std::size_t>(fd)].live = false;
+}
+
+const Vfs::OpenFile& Vfs::entry(int fd) const {
+  PIPETTE_ASSERT(fd >= 0 && static_cast<std::size_t>(fd) < table_.size());
+  const OpenFile& of = table_[static_cast<std::size_t>(fd)];
+  PIPETTE_ASSERT_MSG(of.live, "I/O on a closed fd");
+  return of;
+}
+
+SimDuration Vfs::pread(int fd, std::uint64_t offset,
+                       std::span<std::uint8_t> out) {
+  const OpenFile& of = entry(fd);
+  PIPETTE_ASSERT_MSG(offset + out.size() <= fs_.inode(of.file).size,
+                     "pread past end of file");
+  return backend_.read(of.file, of.flags, offset, out);
+}
+
+SimDuration Vfs::pwrite(int fd, std::uint64_t offset,
+                        std::span<const std::uint8_t> data) {
+  const OpenFile& of = entry(fd);
+  PIPETTE_ASSERT_MSG((of.flags & kOpenWrite) != 0,
+                     "pwrite on a read-only fd");
+  PIPETTE_ASSERT_MSG(offset + data.size() <= fs_.inode(of.file).size,
+                     "pwrite past end of file");
+  return backend_.write(of.file, of.flags, offset, data);
+}
+
+FileId Vfs::file_of(int fd) const { return entry(fd).file; }
+int Vfs::flags_of(int fd) const { return entry(fd).flags; }
+std::uint64_t Vfs::size_of(int fd) const {
+  return fs_.inode(entry(fd).file).size;
+}
+
+}  // namespace pipette

@@ -1,0 +1,73 @@
+// Virtual file system layer: the POSIX-flavoured entry point applications
+// use. Owns the open-file table (fd -> inode + open flags, including the
+// paper's new O_FINE_GRAINED flag) and forwards data-path work to the
+// configured IoBackend — one of the read-path implementations under
+// src/iopath (conventional block I/O, 2B-SSD, or Pipette).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/units.h"
+#include "fs/filesystem.h"
+
+namespace pipette {
+
+// Open flags (values mirror the spirit, not the ABI, of the kernel's).
+constexpr int kOpenRead = 0x0;
+constexpr int kOpenWrite = 0x2;
+/// The paper's new flag: route this file's eligible reads down the
+/// fine-grained path (§4.1).
+constexpr int kOpenFineGrained = 0x10000;
+
+/// Interface every read-path implementation provides. Calls are
+/// CPU-synchronous from the application's viewpoint: they run the simulator
+/// until the request completes and return the elapsed simulated time.
+class IoBackend {
+ public:
+  virtual ~IoBackend() = default;
+
+  /// Read `out.size()` bytes at `offset` of `file`, honouring `open_flags`.
+  virtual SimDuration read(FileId file, int open_flags, std::uint64_t offset,
+                           std::span<std::uint8_t> out) = 0;
+
+  /// Write bytes at `offset` of `file`.
+  virtual SimDuration write(FileId file, int open_flags, std::uint64_t offset,
+                            std::span<const std::uint8_t> data) = 0;
+};
+
+class Vfs {
+ public:
+  Vfs(FileSystem& fs, IoBackend& backend) : fs_(fs), backend_(backend) {}
+
+  /// Open by name; returns an fd. Asserts if the file does not exist.
+  int open(const std::string& name, int flags);
+  void close(int fd);
+
+  /// pread/pwrite-style positional I/O; returns simulated latency.
+  SimDuration pread(int fd, std::uint64_t offset, std::span<std::uint8_t> out);
+  SimDuration pwrite(int fd, std::uint64_t offset,
+                     std::span<const std::uint8_t> data);
+
+  FileId file_of(int fd) const;
+  int flags_of(int fd) const;
+  std::uint64_t size_of(int fd) const;
+
+  FileSystem& fs() { return fs_; }
+
+ private:
+  struct OpenFile {
+    FileId file = kInvalidFileId;
+    int flags = 0;
+    bool live = false;
+  };
+
+  const OpenFile& entry(int fd) const;
+
+  FileSystem& fs_;
+  IoBackend& backend_;
+  std::vector<OpenFile> table_;
+};
+
+}  // namespace pipette

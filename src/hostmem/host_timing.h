@@ -1,0 +1,31 @@
+// Host CPU cost model for the kernel I/O stack.
+//
+// These constants represent the software work a real kernel does per layer;
+// they were chosen to match the rough magnitudes of Linux 5.x on a desktop
+// CPU (syscall entry ~0.5us, page-cache radix walk ~0.15us, ~20 GB/s
+// kernel->user copy, block-layer plug/merge/dispatch ~1.5us per request).
+#pragma once
+
+#include "common/units.h"
+
+namespace pipette {
+
+struct HostTiming {
+  SimDuration syscall = 500;             // user->kernel entry + exit
+  SimDuration vfs_lookup = 200;          // fd table + inode + f_pos handling
+  SimDuration page_cache_lookup = 150;   // xarray walk per page
+  SimDuration page_alloc = 250;          // allocate + insert a page
+  double copy_ns_per_byte = 0.05;        // ~20 GB/s memcpy to user space
+  SimDuration fs_extent_lookup = 300;    // logical block -> LBA mapping
+  SimDuration block_layer_per_request = 1500;  // plug, merge, tag, dispatch
+  SimDuration detector_check = 120;      // Pipette: permission + range track
+  SimDuration fgrc_lookup = 180;         // Pipette: per-file hash probe
+  SimDuration fgrc_insert = 220;         // Pipette: slab alloc + hash insert
+
+  SimDuration copy_cost(std::uint64_t bytes) const {
+    return static_cast<SimDuration>(copy_ns_per_byte *
+                                    static_cast<double>(bytes));
+  }
+};
+
+}  // namespace pipette

@@ -1,0 +1,103 @@
+#include "hostmem/page_cache.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/assert.h"
+
+namespace pipette {
+
+PageCache::PageCache(std::uint64_t capacity_bytes, ReadaheadConfig ra)
+    : cache_(std::max<std::uint64_t>(1, capacity_bytes / kBlockSize)),
+      ra_(ra) {}
+
+CachedPage* PageCache::lookup(const PageKey& key) {
+  CachedPage* page = cache_.find(key);
+  stats_.lookups.record(page != nullptr);
+  if (page != nullptr) page->demanded = true;
+  return page;
+}
+
+CachedPage* PageCache::get(const PageKey& key) {
+  CachedPage* page = cache_.find(key);
+  if (page != nullptr) page->demanded = true;
+  return page;
+}
+
+bool PageCache::contains(const PageKey& key) const {
+  return cache_.peek(key) != nullptr;
+}
+
+void PageCache::on_evict(const PageKey& key, CachedPage& page) {
+  ++stats_.evictions;
+  if (!page.demanded) ++stats_.evicted_never_used;
+  if (page.dirty) {
+    PIPETTE_ASSERT_MSG(static_cast<bool>(writeback_),
+                       "dirty page evicted with no writeback sink");
+    writeback_(key, page.data.get());
+  }
+}
+
+void PageCache::insert(const PageKey& key, const std::uint8_t* bytes,
+                       bool demand) {
+  CachedPage page;
+  page.data = std::make_unique<std::uint8_t[]>(kBlockSize);
+  std::memcpy(page.data.get(), bytes, kBlockSize);
+  page.demanded = demand;
+  if (!demand) ++stats_.readahead_pages;
+  auto evicted = cache_.insert(key, std::move(page));
+  if (evicted) on_evict(evicted->first, evicted->second);
+  stats_.peak_pages = std::max(stats_.peak_pages, cache_.size());
+}
+
+bool PageCache::invalidate(const PageKey& key) {
+  CachedPage* page = cache_.find(key);
+  if (page == nullptr) return false;
+  if (page->dirty) {
+    PIPETTE_ASSERT_MSG(static_cast<bool>(writeback_),
+                       "dirty page invalidated with no writeback sink");
+    writeback_(key, page->data.get());
+  }
+  return cache_.erase(key);
+}
+
+void PageCache::mark_dirty(const PageKey& key) {
+  CachedPage* page = cache_.find(key);
+  PIPETTE_ASSERT_MSG(page != nullptr, "mark_dirty on a non-resident page");
+  page->dirty = true;
+}
+
+std::uint32_t PageCache::plan_readahead(const PageKey& key,
+                                        std::uint32_t demand_pages) {
+  if (!ra_.enabled) return 0;
+  StreamState& st = streams_[key.file_id];
+  if (key.page == st.next_expected) {
+    // Sequential continuation: ramp the window up to the cap.
+    st.window = std::min(ra_.max_window,
+                         std::max(ra_.initial_window, st.window * 2));
+  } else {
+    // Random access: restart with the initial window.
+    st.window = ra_.initial_window;
+  }
+  st.next_expected = key.page + demand_pages +
+                     (st.window > demand_pages ? st.window - demand_pages : 0);
+  return st.window > demand_pages ? st.window - demand_pages : 0;
+}
+
+void PageCache::flush(const WritebackFn& writeback) {
+  cache_.for_each([&](const PageKey& key, CachedPage& page) {
+    if (page.dirty) {
+      writeback(key, page.data.get());
+      page.dirty = false;
+    }
+  });
+}
+
+void PageCache::set_capacity_pages(std::uint64_t pages) {
+  cache_.set_capacity(std::max<std::uint64_t>(1, pages),
+                      [this](const PageKey& k, CachedPage& p) {
+                        on_evict(k, p);
+                      });
+}
+
+}  // namespace pipette

@@ -1,0 +1,215 @@
+#include "iopath/block_io_path.h"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_map>
+
+#include "common/assert.h"
+
+namespace pipette {
+
+BlockIoPath::BlockIoPath(Simulator& sim, SsdController& ssd, FileSystem& fs,
+                         HostTiming timing, std::uint64_t page_cache_bytes,
+                         ReadaheadConfig ra)
+    : ReadPathBase(sim, ssd, fs, timing),
+      cache_(page_cache_bytes, ra),
+      block_layer_(sim, ssd, timing) {
+  // Dirty evictions write back through the block layer (reclaim stall is
+  // charged to whoever triggered the eviction, as in the kernel).
+  cache_.set_writeback([this](const PageKey& key, const std::uint8_t* data) {
+    std::vector<LbaRange> ranges;
+    fs_.extract_lbas(key.file_id, key.page * kBlockSize, kBlockSize, ranges);
+    PIPETTE_ASSERT(ranges.size() == 1);
+    block_layer_.write_page(ranges[0].lba, data);
+  });
+}
+
+void BlockIoPath::fetch_pages(FileId file,
+                              const std::vector<std::uint64_t>& pages,
+                              std::uint64_t last_demand_page) {
+  if (pages.empty()) return;
+  // LBA extraction for the fetch set (one mapping pass, ext4 extent walk).
+  sim_.advance(timing_.fs_extent_lookup);
+  std::vector<Lba> lbas;
+  std::unordered_map<Lba, std::uint64_t> lba_to_page;
+  lbas.reserve(pages.size());
+  for (std::uint64_t page : pages) {
+    std::vector<LbaRange> ranges;
+    fs_.extract_lbas(file, page * kBlockSize, kBlockSize, ranges);
+    PIPETTE_ASSERT(ranges.size() == 1);
+    lbas.push_back(ranges[0].lba);
+    lba_to_page.emplace(ranges[0].lba, page);
+  }
+  // Page allocation for everything about to enter the cache.
+  sim_.advance(timing_.page_alloc * pages.size());
+  block_layer_.read_pages(
+      std::move(lbas), [&](Lba lba, const std::uint8_t* data) {
+        auto it = lba_to_page.find(lba);
+        PIPETTE_ASSERT(it != lba_to_page.end());
+        const std::uint64_t page = it->second;
+        cache_.insert({file, page}, data, /*demand=*/page <= last_demand_page);
+      });
+}
+
+void BlockIoPath::fetch_pages_async(FileId file,
+                                    const std::vector<std::uint64_t>& pages) {
+  // The kernel allocates read-ahead pages and builds the requests in the
+  // reader's context (synchronous CPU cost), but does not wait for the I/O.
+  sim_.advance(timing_.fs_extent_lookup);
+  std::vector<Lba> lbas;
+  auto lba_to_page = std::make_shared<std::unordered_map<Lba, std::uint64_t>>();
+  lbas.reserve(pages.size());
+  for (std::uint64_t page : pages) {
+    std::vector<LbaRange> ranges;
+    fs_.extract_lbas(file, page * kBlockSize, kBlockSize, ranges);
+    PIPETTE_ASSERT(ranges.size() == 1);
+    lbas.push_back(ranges[0].lba);
+    lba_to_page->emplace(ranges[0].lba, page);
+  }
+  sim_.advance(timing_.page_alloc * pages.size());
+  for (std::uint64_t page : pages) inflight_.insert({file, page});
+  block_layer_.read_pages_async(
+      std::move(lbas), [this, file, lba_to_page](Lba lba,
+                                                 const std::uint8_t* data) {
+        auto it = lba_to_page->find(lba);
+        PIPETTE_ASSERT(it != lba_to_page->end());
+        // A page written or demand-fetched while this read-ahead was in
+        // flight must not be clobbered with stale bytes.
+        if (!cache_.contains({file, it->second})) {
+          cache_.insert({file, it->second}, data, /*demand=*/false);
+        }
+        inflight_.erase({file, it->second});
+      });
+}
+
+void BlockIoPath::buffered_read(FileId file, std::uint64_t offset,
+                                std::span<std::uint8_t> out) {
+  const std::uint64_t first_page = offset / kBlockSize;
+  const std::uint64_t last_page = (offset + out.size() - 1) / kBlockSize;
+  const auto demand_pages =
+      static_cast<std::uint32_t>(last_page - first_page + 1);
+
+  // Consult the page cache for every page the request spans. Pages with a
+  // read-ahead already in flight are waited on (lock_page), not re-read.
+  std::vector<std::uint64_t> missing;
+  std::vector<std::uint64_t> wait_for;
+  for (std::uint64_t p = first_page; p <= last_page; ++p) {
+    sim_.advance(timing_.page_cache_lookup);
+    if (cache_.lookup({file, p}) != nullptr) continue;
+    if (inflight_.contains({file, p})) {
+      wait_for.push_back(p);
+    } else {
+      missing.push_back(p);
+    }
+  }
+  for (std::uint64_t p : wait_for) {
+    const PageKey key{file, p};
+    const bool landed = sim_.run_until_condition(
+        [&] { return !inflight_.contains(key); });
+    PIPETTE_ASSERT_MSG(landed, "in-flight read-ahead never completed");
+    // Rare: completed but instantly evicted (tiny cache) — fetch normally.
+    if (!cache_.contains(key)) missing.push_back(p);
+  }
+
+  if (!missing.empty()) {
+    // Read-ahead planning keys off the first missing page. The demanded
+    // pages block this read; the read-ahead window is fetched
+    // asynchronously, like the kernel's async readahead.
+    const std::uint32_t extra =
+        cache_.plan_readahead({file, missing.front()}, demand_pages);
+    const std::uint64_t file_pages =
+        (fs_.inode(file).size + kBlockSize - 1) / kBlockSize;
+    std::vector<std::uint64_t> ra;
+    for (std::uint32_t i = 1; i <= extra; ++i) {
+      const std::uint64_t p = last_page + i;
+      if (p >= file_pages) break;
+      if (!cache_.contains({file, p})) ra.push_back(p);
+    }
+    fetch_pages(file, missing, last_page);
+    if (!ra.empty()) fetch_pages_async(file, ra);
+  }
+
+  // Copy out of the page cache. Pages were just inserted, so they are
+  // resident (MRU) unless capacity is smaller than the request span.
+  std::uint64_t pos = offset;
+  std::size_t copied = 0;
+  while (copied < out.size()) {
+    const std::uint64_t page = pos / kBlockSize;
+    const std::uint32_t in_page = static_cast<std::uint32_t>(pos % kBlockSize);
+    const std::uint32_t take = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(kBlockSize - in_page, out.size() - copied));
+    const CachedPage* cp = cache_.get({file, page});
+    PIPETTE_ASSERT_MSG(cp != nullptr,
+                       "page evicted before copy-out; page cache smaller "
+                       "than a single request span");
+    std::memcpy(out.data() + copied, cp->data.get() + in_page, take);
+    sim_.advance(timing_.copy_cost(take));
+    copied += take;
+    pos += take;
+  }
+}
+
+SimDuration BlockIoPath::read(FileId file, int /*open_flags*/,
+                              std::uint64_t offset,
+                              std::span<std::uint8_t> out) {
+  const SimTime t0 = sim_.now();
+  sim_.advance(timing_.syscall + timing_.vfs_lookup);
+  buffered_read(file, offset, out);
+  const SimDuration latency = sim_.now() - t0;
+  note_read(out.size(), latency);
+  return latency;
+}
+
+void BlockIoPath::buffered_write(FileId file, std::uint64_t offset,
+                                 std::span<const std::uint8_t> data) {
+  // Buffered write: read-modify-write partial pages, overwrite full ones,
+  // mark everything dirty. Writeback happens on eviction or sync().
+  std::uint64_t pos = offset;
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const std::uint64_t page = pos / kBlockSize;
+    const std::uint32_t in_page = static_cast<std::uint32_t>(pos % kBlockSize);
+    const std::uint32_t take = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(kBlockSize - in_page, data.size() - written));
+    sim_.advance(timing_.page_cache_lookup);
+    CachedPage* cp = cache_.lookup({file, page});
+    if (cp == nullptr) {
+      if (take == kBlockSize) {
+        // Full overwrite: no need to read the old contents.
+        std::vector<std::uint8_t> fresh(kBlockSize, 0);
+        sim_.advance(timing_.page_alloc);
+        cache_.insert({file, page}, fresh.data(), /*demand=*/true);
+      } else {
+        fetch_pages(file, {page}, page);  // read-modify-write
+      }
+      cp = cache_.get({file, page});
+      PIPETTE_ASSERT(cp != nullptr);
+    }
+    std::memcpy(cp->data.get() + in_page, data.data() + written, take);
+    sim_.advance(timing_.copy_cost(take));
+    cache_.mark_dirty({file, page});
+    written += take;
+    pos += take;
+  }
+}
+
+SimDuration BlockIoPath::write(FileId file, int /*open_flags*/,
+                               std::uint64_t offset,
+                               std::span<const std::uint8_t> data) {
+  const SimTime t0 = sim_.now();
+  sim_.advance(timing_.syscall + timing_.vfs_lookup);
+  buffered_write(file, offset, data);
+  ++stats_.writes;
+  return sim_.now() - t0;
+}
+
+void BlockIoPath::sync() {
+  cache_.flush([this](const PageKey& key, const std::uint8_t* data) {
+    std::vector<LbaRange> ranges;
+    fs_.extract_lbas(key.file_id, key.page * kBlockSize, kBlockSize, ranges);
+    PIPETTE_ASSERT(ranges.size() == 1);
+    block_layer_.write_page(ranges[0].lba, data);
+  });
+}
+
+}  // namespace pipette

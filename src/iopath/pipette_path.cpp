@@ -1,0 +1,226 @@
+#include "iopath/pipette_path.h"
+
+#include <cstring>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace pipette {
+
+PipettePath::PipettePath(Simulator& sim, SsdController& ssd, FileSystem& fs,
+                         HostTiming timing, PipettePathConfig config)
+    : ReadPathBase(sim, ssd, fs, timing),
+      config_(std::move(config)),
+      block_(sim, ssd, fs, timing, config_.page_cache_bytes,
+             config_.readahead) {
+  // Config contract: anything the dispatcher sends down the fine path must
+  // fit the TempBuf (the non-promoted staging area).
+  PIPETTE_ASSERT_MSG(
+      config_.dispatch.fine_max_len <= ssd_.hmb().tempbuf().size(),
+      "dispatcher fine_max_len exceeds the HMB TempBuf");
+  fgrc_ = std::make_unique<FineGrainedReadCache>(
+      ssd_.hmb(), config_.fgrc, &block_.page_cache().hit_counter());
+}
+
+void PipettePath::fine_read(FileId file, std::uint64_t offset,
+                            std::span<std::uint8_t> out) {
+  ++pstats_.fine_reads;
+  const std::uint64_t first_page = offset / kBlockSize;
+  const std::uint64_t last_page = (offset + out.size() - 1) / kBlockSize;
+
+  // §3.1.2: the request "goes through the VFS layer and is first performed
+  // by the page cache". If any spanned page is resident (possibly dirty
+  // from a recent write), serve through the block route, which guarantees
+  // the freshest bytes. Probes use contains() so the page cache hit ratio
+  // keeps describing the block-routed traffic only.
+  bool any_resident = false;
+  for (std::uint64_t p = first_page; p <= last_page; ++p) {
+    sim_.advance(timing_.page_cache_lookup);
+    if (block_.page_cache().contains({file, p})) {
+      any_resident = true;
+      break;
+    }
+  }
+  if (any_resident) {
+    ++pstats_.page_cache_served_fine;
+    block_.buffered_read(file, offset, out);
+    return;
+  }
+
+  // Page-cache miss: the Detector verifies permission (already routed) and
+  // tracks which part of each page is demanded.
+  sim_.advance(timing_.detector_check);
+  {
+    std::uint64_t pos = offset;
+    std::size_t left = out.size();
+    while (left > 0) {
+      const std::uint64_t page = pos / kBlockSize;
+      const std::uint32_t in_page =
+          static_cast<std::uint32_t>(pos % kBlockSize);
+      const std::uint32_t take = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(kBlockSize - in_page, left));
+      detector_.record(file, page, in_page, take);
+      pos += take;
+      left -= take;
+    }
+  }
+
+  const FgKey key{file, offset, static_cast<std::uint32_t>(out.size())};
+
+  if (config_.use_cache) {
+    // Dispatch to the per-file hash lookup table.
+    sim_.advance(timing_.fgrc_lookup);
+    if (auto hit = fgrc_->lookup(key)) {
+      PIPETTE_ASSERT(hit->size() == out.size());
+      std::memcpy(out.data(), hit->data(), out.size());
+      sim_.advance(timing_.copy_cost(out.size()));
+      return;
+    }
+  }
+
+  // Miss: decide placement. Without the cache everything stages through
+  // the TempBuf region.
+  MissPlan plan;
+  if (config_.use_cache) {
+    plan = fgrc_->plan_miss(key);
+    if (plan.promoted) sim_.advance(timing_.fgrc_insert);
+  } else {
+    plan.dest = fgrc_->tempbuf_addr(key.len);
+    plan.promoted = false;
+  }
+
+  // Constructor: the LBA Extractor resolves the range, bypassing the
+  // generic block layer; the Requester pushes Info Area records (one per
+  // page-range, each carrying its destination address) and submits the
+  // reconstructed FG_READ.
+  sim_.advance(timing_.fs_extent_lookup);
+  std::vector<LbaRange> ranges;
+  fs_.extract_lbas(file, offset, out.size(), ranges);
+
+  InfoArea& info = ssd_.hmb().info();
+  Command cmd;
+  cmd.op = Opcode::kFgRead;
+  HmbAddr dest = plan.dest;
+  for (const LbaRange& r : ranges) {
+    PIPETTE_ASSERT_MSG(!info.full(), "Info Area backpressure");
+    const std::uint64_t idx =
+        info.push({dest, r.lba, r.offset, r.len});
+    cmd.ranges.push_back({r.lba, r.offset, r.len, idx});
+    dest += r.len;
+  }
+  bool done = false;
+  ssd_.submit(std::move(cmd), [&](const CommandResult&) { done = true; });
+  PIPETTE_ASSERT(sim_.run_until_condition([&] { return done; }));
+
+  // The demanded bytes are in the HMB (cache item or TempBuf); hand them
+  // to the user.
+  ssd_.hmb().read(plan.dest, out);
+  sim_.advance(timing_.copy_cost(out.size()));
+}
+
+SimDuration PipettePath::read(FileId file, int open_flags,
+                              std::uint64_t offset,
+                              std::span<std::uint8_t> out) {
+  const SimTime t0 = sim_.now();
+  sim_.advance(timing_.syscall + timing_.vfs_lookup);
+
+  // Pipette w/o cache routes everything down the byte path (its I/O
+  // traffic is exactly the requested bytes at every size, Table 2/3) —
+  // bounded by the TempBuf staging capacity, beyond which only the block
+  // interface can carry the request.
+  Route route = Route::kFine;
+  if (config_.use_cache) {
+    route = dispatch_read(config_.dispatch, open_flags, offset, out.size());
+  } else if (!FineGrainedAccessDetector::permitted(open_flags) ||
+             out.size() > ssd_.hmb().tempbuf().size()) {
+    route = Route::kBlock;
+  }
+
+  if (route == Route::kBlock) {
+    ++pstats_.block_reads;
+    block_.buffered_read(file, offset, out);
+  } else {
+    fine_read(file, offset, out);
+  }
+  const SimDuration latency = sim_.now() - t0;
+  note_read(out.size(), latency);
+  return latency;
+}
+
+bool PipettePath::try_fine_write(FileId file, int open_flags,
+                                 std::uint64_t offset,
+                                 std::span<const std::uint8_t> data) {
+  if (!config_.fine_writes || !config_.use_cache) return false;
+  if (!FineGrainedAccessDetector::permitted(open_flags)) return false;
+  if (data.size() >= kBlockSize) return false;
+  if (data.size() > ssd_.hmb().tempbuf().size()) return false;
+
+  // Any spanned page that is dirty in the page cache holds newer bytes than
+  // flash; a device-side RMW would resurrect stale data. Fall back to the
+  // buffered block write, which merges correctly.
+  const std::uint64_t first_page = offset / kBlockSize;
+  const std::uint64_t last_page = (offset + data.size() - 1) / kBlockSize;
+  for (std::uint64_t p = first_page; p <= last_page; ++p) {
+    sim_.advance(timing_.page_cache_lookup);
+    const CachedPage* cp = block_.page_cache().get({file, p});
+    if (cp != nullptr && cp->dirty) return false;
+  }
+  // Clean resident copies become stale the moment the device writes; drop
+  // them.
+  for (std::uint64_t p = first_page; p <= last_page; ++p) {
+    block_.page_cache().invalidate({file, p});
+  }
+
+  // FGRC: update an exact-match item in place (cache stays warm); any other
+  // overlapping item is deleted, as in the read path's consistency rule.
+  const FgKey key{file, offset, static_cast<std::uint32_t>(data.size())};
+  sim_.advance(timing_.fgrc_lookup);
+  if (fgrc_->update_in_place(key, data)) {
+    ++pstats_.fgrc_inplace_updates;
+    // Items overlapping but not equal must still go.
+    fgrc_->invalidate_range(file, offset, data.size(), &key);
+  } else {
+    fgrc_->invalidate_range(file, offset, data.size());
+  }
+
+  // Constructor + Requester, write flavour: resolve the pages, ship only
+  // the new bytes, let the device RMW internally.
+  sim_.advance(timing_.fs_extent_lookup);
+  std::vector<LbaRange> ranges;
+  fs_.extract_lbas(file, offset, data.size(), ranges);
+  Command cmd;
+  cmd.op = Opcode::kFgWrite;
+  cmd.write_data.assign(data.begin(), data.end());
+  for (const LbaRange& r : ranges) {
+    cmd.ranges.push_back({r.lba, r.offset, r.len, 0});
+  }
+  bool done = false;
+  ssd_.submit(std::move(cmd), [&](const CommandResult&) { done = true; });
+  PIPETTE_ASSERT(sim_.run_until_condition([&] { return done; }));
+  ++pstats_.fine_writes;
+  return true;
+}
+
+SimDuration PipettePath::write(FileId file, int open_flags,
+                               std::uint64_t offset,
+                               std::span<const std::uint8_t> data) {
+  const SimTime t0 = sim_.now();
+  sim_.advance(timing_.syscall + timing_.vfs_lookup);
+
+  if (try_fine_write(file, open_flags, offset, data)) {
+    ++stats_.writes;
+    return sim_.now() - t0;
+  }
+
+  // §3.1.3: every write checks the fine-grained read cache and deletes the
+  // found items, so later fine reads see either the page cache's fresh
+  // copy or the post-flush flash state — never the stale cached bytes.
+  sim_.advance(timing_.fgrc_lookup);
+  fgrc_->invalidate_range(file, offset, data.size());
+  block_.buffered_write(file, offset, data);
+  ++pstats_.block_writes;
+  ++stats_.writes;
+  return sim_.now() - t0;
+}
+
+}  // namespace pipette

@@ -1,0 +1,80 @@
+#include "iopath/twob_ssd_path.h"
+
+#include <vector>
+
+#include "common/assert.h"
+
+namespace pipette {
+
+SimDuration TwoBSsdPath::read(FileId file, int /*open_flags*/,
+                              std::uint64_t offset,
+                              std::span<std::uint8_t> out) {
+  const SimTime t0 = sim_.now();
+  // User-level library entry: no kernel crossing, just the mapping lookup
+  // of the file's byte-addressable window.
+  sim_.advance(timing_.vfs_lookup);
+
+  // Resolve which device blocks hold the range (premapped extent walk).
+  sim_.advance(timing_.fs_extent_lookup);
+  std::vector<LbaRange> ranges;
+  fs_.extract_lbas(file, offset, out.size(), ranges);
+
+  std::size_t copied = 0;
+  for (const LbaRange& r : ranges) {
+    // Ask the device to stage the page in the CMB.
+    Command cmd;
+    cmd.op = Opcode::kReadToCmb;
+    cmd.lba = r.lba;
+    bool done = false;
+    std::uint32_t slot = 0;
+    ssd_.submit(std::move(cmd), [&](const CommandResult& res) {
+      done = true;
+      slot = res.cmb_slot;
+    });
+    PIPETTE_ASSERT(sim_.run_until_condition([&] { return done; }));
+
+    // Pull the demanded bytes out of the CMB window.
+    auto dest = out.subspan(copied, r.len);
+    const SimDuration pull =
+        ssd_.read_from_cmb(slot, r.offset, dest, mode_ == TwoBMode::kDma);
+    sim_.advance(pull);
+    copied += r.len;
+  }
+  PIPETTE_ASSERT(copied == out.size());
+
+  const SimDuration latency = sim_.now() - t0;
+  note_read(out.size(), latency);
+  return latency;
+}
+
+SimDuration TwoBSsdPath::write(FileId file, int /*open_flags*/,
+                               std::uint64_t offset,
+                               std::span<const std::uint8_t> data) {
+  // 2B-SSD's evaluation here is read-only (fine-grained writes are
+  // CoinPurse's domain); writes go straight down the block interface with
+  // read-modify-write of partial pages.
+  const SimTime t0 = sim_.now();
+  sim_.advance(timing_.syscall + timing_.vfs_lookup +
+               timing_.fs_extent_lookup);
+  std::vector<LbaRange> ranges;
+  fs_.extract_lbas(file, offset, data.size(), ranges);
+  std::size_t consumed = 0;
+  for (const LbaRange& r : ranges) {
+    std::vector<std::uint8_t> page(kBlockSize);
+    ssd_.content().read(r.lba, 0, {page.data(), page.size()});
+    std::copy_n(data.data() + consumed, r.len, page.data() + r.offset);
+    consumed += r.len;
+    Command cmd;
+    cmd.op = Opcode::kWrite;
+    cmd.lba = r.lba;
+    cmd.nlb = 1;
+    cmd.write_data = std::move(page);
+    bool done = false;
+    ssd_.submit(std::move(cmd), [&](const CommandResult&) { done = true; });
+    PIPETTE_ASSERT(sim_.run_until_condition([&] { return done; }));
+  }
+  ++stats_.writes;
+  return sim_.now() - t0;
+}
+
+}  // namespace pipette

@@ -1,0 +1,39 @@
+// The 2B-SSD baseline (Bae et al., ISCA'18; paper §2.2 and §4.1): a dual
+// byte/block interface SSD whose byte path stages flash pages in the CMB
+// and lets the host pull bytes over the PCIe BAR. Two modes:
+//   * MMIO — the CPU issues uncached reads against the BAR window; each
+//     transaction moves at most 8 bytes and is a full non-posted round
+//     trip, so latency grows linearly with request size.
+//   * DMA  — the device masters a transfer into host memory, but a DMA
+//     mapping must be set up (and torn down) around every access, which
+//     sits on the critical path.
+// 2B-SSD "simply bypasses the I/O stack, without supporting data locality":
+// there is no host-side cache of any kind, and every read — regardless of
+// size — travels the byte interface, so I/O traffic equals exactly the
+// bytes requested.
+#pragma once
+
+#include "iopath/read_path.h"
+
+namespace pipette {
+
+enum class TwoBMode { kMmio, kDma };
+
+class TwoBSsdPath : public ReadPathBase {
+ public:
+  TwoBSsdPath(Simulator& sim, SsdController& ssd, FileSystem& fs,
+              HostTiming timing, TwoBMode mode)
+      : ReadPathBase(sim, ssd, fs, timing), mode_(mode) {}
+
+  SimDuration read(FileId file, int open_flags, std::uint64_t offset,
+                   std::span<std::uint8_t> out) override;
+  SimDuration write(FileId file, int open_flags, std::uint64_t offset,
+                    std::span<const std::uint8_t> data) override;
+
+  TwoBMode mode() const { return mode_; }
+
+ private:
+  TwoBMode mode_;
+};
+
+}  // namespace pipette

@@ -1,0 +1,131 @@
+#include "nand/nand.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace pipette {
+
+const char* to_string(CellType t) {
+  switch (t) {
+    case CellType::kSlc:
+      return "SLC";
+    case CellType::kMlc:
+      return "MLC";
+    case CellType::kTlc:
+      return "TLC";
+  }
+  return "?";
+}
+
+SimDuration NandTiming::t_read() const {
+  switch (cell) {
+    case CellType::kSlc:
+      return t_read_slc;
+    case CellType::kMlc:
+      return t_read_mlc;
+    case CellType::kTlc:
+      return t_read_tlc;
+  }
+  return t_read_tlc;
+}
+
+SimDuration NandTiming::t_prog() const {
+  switch (cell) {
+    case CellType::kSlc:
+      return t_prog_slc;
+    case CellType::kMlc:
+      return t_prog_mlc;
+    case CellType::kTlc:
+      return t_prog_tlc;
+  }
+  return t_prog_tlc;
+}
+
+NandArray::NandArray(Simulator& sim, NandGeometry geometry, NandTiming timing,
+                     NandFaultModel faults)
+    : sim_(sim),
+      geometry_(geometry),
+      timing_(timing),
+      faults_(faults),
+      fault_rng_(faults.seed),
+      die_busy_until_(geometry.dies(), 0),
+      channel_busy_until_(geometry.channels, 0) {
+  PIPETTE_ASSERT(geometry_.channels > 0 && geometry_.ways_per_channel > 0);
+  PIPETTE_ASSERT(geometry_.page_size > 0);
+}
+
+std::size_t NandArray::die_index(const PhysPageAddr& addr) const {
+  return static_cast<std::size_t>(addr.channel) * geometry_.ways_per_channel +
+         addr.way;
+}
+
+void NandArray::check_addr(const PhysPageAddr& addr) const {
+  PIPETTE_ASSERT(addr.channel < geometry_.channels);
+  PIPETTE_ASSERT(addr.way < geometry_.ways_per_channel);
+  PIPETTE_ASSERT(addr.page < geometry_.pages_per_die());
+}
+
+SimTime NandArray::die_free_at(const PhysPageAddr& addr) const {
+  return die_busy_until_[die_index(addr)];
+}
+
+void NandArray::read_page(const PhysPageAddr& addr, DoneCallback on_done,
+                          std::uint32_t transfer_bytes) {
+  check_addr(addr);
+  if (transfer_bytes == 0) transfer_bytes = geometry_.page_size;
+  PIPETTE_ASSERT(transfer_bytes <= geometry_.page_size);
+
+  const std::size_t die = die_index(addr);
+  SimDuration sense = timing_.t_read();
+  if (faults_.read_retry_probability > 0.0 &&
+      fault_rng_.next_bool(faults_.read_retry_probability)) {
+    const std::uint32_t retries =
+        1 + static_cast<std::uint32_t>(fault_rng_.next_below(
+                faults_.max_retries));
+    sense += retries * timing_.t_read();
+    stats_.read_retries += retries;
+  }
+
+  // Array sensing occupies the die.
+  const SimTime sense_start =
+      std::max(sim_.now() + timing_.command_overhead, die_busy_until_[die]);
+  const SimTime sense_end = sense_start + sense;
+  die_busy_until_[die] = sense_end;
+
+  // Bus transfer occupies the channel after sensing completes.
+  const SimTime xfer_start =
+      std::max(sense_end, channel_busy_until_[addr.channel]);
+  const SimTime xfer_end =
+      xfer_start + static_cast<SimDuration>(
+                       timing_.channel_ns_per_byte * transfer_bytes);
+  channel_busy_until_[addr.channel] = xfer_end;
+
+  ++stats_.page_reads;
+  stats_.bytes_transferred += transfer_bytes;
+  sim_.schedule_at(xfer_end, std::move(on_done));
+}
+
+void NandArray::program_page(const PhysPageAddr& addr, DoneCallback on_done) {
+  check_addr(addr);
+  const std::size_t die = die_index(addr);
+
+  // Data moves over the channel first, then the die programs.
+  const SimTime xfer_start =
+      std::max(sim_.now() + timing_.command_overhead,
+               channel_busy_until_[addr.channel]);
+  const SimTime xfer_end =
+      xfer_start + static_cast<SimDuration>(
+                       timing_.channel_ns_per_byte * geometry_.page_size);
+  channel_busy_until_[addr.channel] = xfer_end;
+
+  const SimTime prog_start = std::max(xfer_end, die_busy_until_[die]);
+  const SimTime prog_end = prog_start + timing_.t_prog();
+  die_busy_until_[die] = prog_end;
+
+  ++stats_.page_programs;
+  stats_.bytes_transferred += geometry_.page_size;
+  sim_.schedule_at(prog_end, std::move(on_done));
+}
+
+}  // namespace pipette

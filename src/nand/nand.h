@@ -1,0 +1,125 @@
+// NAND flash array model.
+//
+// Mirrors the paper's YS9203 prototype (Fig. 5): 8 channels x 8 ways, 2-core
+// controller, SLC/MLC/TLC media. A page read occupies its die for the array
+// read time (tR), then occupies its channel for the page transfer to the
+// controller (ONFI bus). Dies on different channels proceed fully in
+// parallel; dies sharing a channel serialise only on the bus — this is the
+// "hardware limitation that cannot synchronously read data from parallel
+// channels" the paper cites for block I/O's long multi-page latencies.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/units.h"
+#include "des/simulator.h"
+
+namespace pipette {
+
+enum class CellType { kSlc, kMlc, kTlc };
+
+const char* to_string(CellType t);
+
+struct NandGeometry {
+  std::uint32_t channels = 8;
+  std::uint32_t ways_per_channel = 8;  // dies per channel
+  std::uint32_t planes_per_die = 2;
+  std::uint32_t blocks_per_plane = 256;
+  std::uint32_t pages_per_block = 256;
+  std::uint32_t page_size = 4096;  // data bytes per NAND page
+
+  std::uint32_t dies() const { return channels * ways_per_channel; }
+  std::uint64_t pages_per_die() const {
+    return static_cast<std::uint64_t>(planes_per_die) * blocks_per_plane *
+           pages_per_block;
+  }
+  std::uint64_t total_pages() const { return pages_per_die() * dies(); }
+  std::uint64_t capacity_bytes() const { return total_pages() * page_size; }
+};
+
+struct NandTiming {
+  CellType cell = CellType::kTlc;
+  // Array read time (tR). Typical datasheet values: SLC ~25us, MLC ~50us,
+  // TLC ~70us (we default slightly lower to reflect the YS9203's read path).
+  SimDuration t_read_slc = 25 * kUs;
+  SimDuration t_read_mlc = 50 * kUs;
+  SimDuration t_read_tlc = 65 * kUs;
+  // Page program time (tPROG).
+  SimDuration t_prog_slc = 200 * kUs;
+  SimDuration t_prog_mlc = 600 * kUs;
+  SimDuration t_prog_tlc = 900 * kUs;
+  // ONFI channel bus: ~800 MB/s per channel => 1.25 ns/byte; a 4 KiB page
+  // transfer is ~5.1us. Plus a fixed per-command channel overhead.
+  double channel_ns_per_byte = 1.25;
+  SimDuration command_overhead = 1 * kUs;
+
+  SimDuration t_read() const;
+  SimDuration t_prog() const;
+};
+
+/// Physical page address within the array.
+struct PhysPageAddr {
+  std::uint32_t channel = 0;
+  std::uint32_t way = 0;
+  std::uint64_t page = 0;  // page index within the die (plane/block folded in)
+
+  bool operator==(const PhysPageAddr&) const = default;
+};
+
+/// Optional fault model: probability that a page read needs `retries` extra
+/// sensing passes (read-retry on raw bit-error spikes).
+struct NandFaultModel {
+  double read_retry_probability = 0.0;
+  std::uint32_t max_retries = 3;
+  std::uint64_t seed = 0x5eed;
+};
+
+struct NandStats {
+  std::uint64_t page_reads = 0;
+  std::uint64_t page_programs = 0;
+  std::uint64_t read_retries = 0;
+  std::uint64_t bytes_transferred = 0;
+};
+
+class NandArray {
+ public:
+  using DoneCallback = std::function<void()>;
+
+  NandArray(Simulator& sim, NandGeometry geometry, NandTiming timing,
+            NandFaultModel faults = {});
+
+  /// Read one full page: die busy for tR (+retries), then the channel bus
+  /// transfers `transfer_bytes` (defaults to the full page) to the
+  /// controller. `on_done` fires when the data is in the controller buffer.
+  void read_page(const PhysPageAddr& addr, DoneCallback on_done,
+                 std::uint32_t transfer_bytes = 0);
+
+  /// Program one full page; `on_done` fires at program completion.
+  void program_page(const PhysPageAddr& addr, DoneCallback on_done);
+
+  const NandGeometry& geometry() const { return geometry_; }
+  const NandTiming& timing() const { return timing_; }
+  const NandStats& stats() const { return stats_; }
+
+  /// Earliest time the given die could start a new array operation.
+  SimTime die_free_at(const PhysPageAddr& addr) const;
+
+ private:
+  std::size_t die_index(const PhysPageAddr& addr) const;
+  void check_addr(const PhysPageAddr& addr) const;
+
+  Simulator& sim_;
+  NandGeometry geometry_;
+  NandTiming timing_;
+  NandFaultModel faults_;
+  Rng fault_rng_;
+  NandStats stats_;
+  std::vector<SimTime> die_busy_until_;
+  std::vector<SimTime> channel_busy_until_;
+};
+
+}  // namespace pipette

@@ -1,0 +1,56 @@
+#include "pipette/detector.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "fs/vfs.h"
+
+namespace pipette {
+
+bool FineGrainedAccessDetector::permitted(int open_flags) {
+  return (open_flags & kOpenFineGrained) != 0;
+}
+
+std::size_t FineGrainedAccessDetector::record(FileId file, std::uint64_t page,
+                                              std::uint32_t offset,
+                                              std::uint32_t len) {
+  PIPETTE_ASSERT(len > 0 && offset + len <= kBlockSize);
+  ++fine_accesses_;
+  auto& ranges = pages_[PageId{file, page}];
+  ranges.push_back({offset, len});
+  // Coalesce: sort by offset, merge overlapping or adjacent ranges.
+  std::sort(ranges.begin(), ranges.end(),
+            [](const PageAccessRange& a, const PageAccessRange& b) {
+              return a.offset < b.offset;
+            });
+  std::vector<PageAccessRange> merged;
+  for (const PageAccessRange& r : ranges) {
+    if (!merged.empty() &&
+        r.offset <= merged.back().offset + merged.back().len) {
+      const std::uint32_t end =
+          std::max(merged.back().offset + merged.back().len,
+                   r.offset + r.len);
+      merged.back().len = end - merged.back().offset;
+    } else {
+      merged.push_back(r);
+    }
+  }
+  ranges = std::move(merged);
+  return ranges.size();
+}
+
+const std::vector<PageAccessRange>& FineGrainedAccessDetector::ranges(
+    FileId file, std::uint64_t page) const {
+  static const std::vector<PageAccessRange> kEmpty;
+  auto it = pages_.find(PageId{file, page});
+  return it == pages_.end() ? kEmpty : it->second;
+}
+
+double FineGrainedAccessDetector::demanded_fraction(FileId file,
+                                                    std::uint64_t page) const {
+  std::uint64_t bytes = 0;
+  for (const PageAccessRange& r : ranges(file, page)) bytes += r.len;
+  return static_cast<double>(bytes) / kBlockSize;
+}
+
+}  // namespace pipette

@@ -1,0 +1,79 @@
+// Fine-Grained Access Detector (paper §3.1.2): triggered on a page-cache
+// miss, it verifies that the file was opened with the byte-granular
+// datapath enabled (O_FINE_GRAINED) and maintains the access ranges per
+// page so Pipette can determine which part of each page is demanded.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "pipette/fg_key.h"
+#include "ssd/types.h"
+
+namespace pipette {
+
+struct PageAccessRange {
+  std::uint32_t offset = 0;  // within the page
+  std::uint32_t len = 0;
+};
+
+class FineGrainedAccessDetector {
+ public:
+  /// Permission check: byte-granular path requires the open flag.
+  static bool permitted(int open_flags);
+
+  /// Record a demanded range of (file, page); overlapping/adjacent ranges
+  /// are coalesced. Returns the number of distinct ranges now tracked for
+  /// that page.
+  std::size_t record(FileId file, std::uint64_t page, std::uint32_t offset,
+                     std::uint32_t len);
+
+  /// Ranges demanded so far within (file, page).
+  const std::vector<PageAccessRange>& ranges(FileId file,
+                                             std::uint64_t page) const;
+
+  /// Fraction of the page's bytes ever demanded (diagnoses amplification).
+  double demanded_fraction(FileId file, std::uint64_t page) const;
+
+  std::uint64_t fine_accesses() const { return fine_accesses_; }
+  std::uint64_t pages_tracked() const { return pages_.size(); }
+
+ private:
+  struct PageId {
+    FileId file;
+    std::uint64_t page;
+    bool operator==(const PageId&) const = default;
+  };
+  struct PageIdHash {
+    std::size_t operator()(const PageId& p) const {
+      return std::hash<std::uint64_t>()(
+          (static_cast<std::uint64_t>(p.file) << 44) ^ p.page);
+    }
+  };
+
+  std::unordered_map<PageId, std::vector<PageAccessRange>, PageIdHash> pages_;
+  std::uint64_t fine_accesses_ = 0;
+};
+
+/// Read Dispatcher (paper §3.1.2): sends each read down the byte-granular
+/// or the block interface, "mainly based on the data size". Sub-page reads
+/// take the fine path; page-sized-and-larger aligned reads take the block
+/// path (where read-ahead and the page cache shine). A page-sized read at
+/// an unaligned offset still spans two pages and is cheaper fine-grained.
+struct DispatchConfig {
+  std::uint32_t fine_max_len = kBlockSize;  // largest fine-grained request
+};
+
+enum class Route { kFine, kBlock };
+
+inline Route dispatch_read(const DispatchConfig& config, int open_flags,
+                           std::uint64_t offset, std::uint64_t len) {
+  if (!FineGrainedAccessDetector::permitted(open_flags)) return Route::kBlock;
+  if (len > config.fine_max_len) return Route::kBlock;
+  if (len < kBlockSize) return Route::kFine;
+  if (len == kBlockSize && (offset % kBlockSize) != 0) return Route::kFine;
+  return Route::kBlock;
+}
+
+}  // namespace pipette

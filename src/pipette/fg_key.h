@@ -1,0 +1,31 @@
+// Identity of a fine-grained cached object: an exact byte range of a file.
+// The workloads the paper targets (embedding vectors, graph objects) re-read
+// identical records, so exact-match keys give the same hit behaviour as the
+// prototype's per-file range tables.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "fs/filesystem.h"
+
+namespace pipette {
+
+struct FgKey {
+  FileId file = kInvalidFileId;
+  std::uint64_t offset = 0;
+  std::uint32_t len = 0;
+
+  bool operator==(const FgKey&) const = default;
+};
+
+struct FgKeyHash {
+  std::size_t operator()(const FgKey& k) const {
+    std::uint64_t h = k.offset * 0x9e3779b97f4a7c15ULL;
+    h ^= (static_cast<std::uint64_t>(k.file) << 32) | k.len;
+    h *= 0xbf58476d1ce4e5b9ULL;
+    return static_cast<std::size_t>(h ^ (h >> 29));
+  }
+};
+
+}  // namespace pipette

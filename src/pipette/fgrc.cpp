@@ -1,0 +1,206 @@
+#include "pipette/fgrc.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace pipette {
+
+FineGrainedReadCache::FineGrainedReadCache(Hmb& hmb, FgrcConfig config,
+                                           const RatioCounter* page_cache_hits)
+    : hmb_(hmb),
+      config_(config),
+      store_(hmb, config.slab),
+      adaptive_(config.adaptive),
+      ghosts_(config.adaptive.ghost_capacity),
+      page_cache_hits_(page_cache_hits),
+      evictions_at_epoch_(store_.classes(), 0) {}
+
+std::optional<std::span<const std::uint8_t>> FineGrainedReadCache::lookup(
+    const FgKey& key) {
+  ++accesses_since_epoch_;
+  if (config_.reassign.enabled &&
+      accesses_since_epoch_ >= config_.reassign.epoch_accesses) {
+    run_reassignment_epoch();
+    accesses_since_epoch_ = 0;
+  }
+
+  auto table_it = tables_.find(key.file);
+  if (table_it != tables_.end()) {
+    auto [lo, hi] = table_it->second.equal_range(key.offset);
+    for (auto it = lo; it != hi; ++it) {
+      if (store_.key(it->second) == key) {
+        stats_.lookups.record(true);
+        adaptive_.on_access(/*repeated=*/true);
+        store_.touch(it->second);
+        return store_.data(it->second);
+      }
+    }
+  }
+  stats_.lookups.record(false);
+  adaptive_.on_access(/*repeated=*/ghosts_.seen(key));
+  return std::nullopt;
+}
+
+HmbAddr FineGrainedReadCache::tempbuf_addr(std::uint32_t len) {
+  const auto size = static_cast<HmbAddr>(hmb_.tempbuf().size());
+  PIPETTE_ASSERT_MSG(len <= size, "TempBuf smaller than one object");
+  if (tempbuf_cursor_ + len > size) tempbuf_cursor_ = 0;
+  const HmbAddr addr = hmb_.tempbuf_offset() + tempbuf_cursor_;
+  tempbuf_cursor_ += len;
+  return addr;
+}
+
+bool FineGrainedReadCache::relieve_pressure(std::uint32_t cls) {
+  // Dynamic allocation strategy (§3.2.4): when the shared memory has no
+  // spare space, compare the two caches' hit ratios. Page cache dominating
+  // -> evict our LRU item (solution 1). FGRC dominating -> migrate a slab
+  // out of the shared region (solution 2), freeing a whole slab.
+  bool prefer_migrate = false;
+  switch (config_.policy) {
+    case PressurePolicy::kDynamic: {
+      const double pc =
+          page_cache_hits_ != nullptr ? page_cache_hits_->ratio() : 0.0;
+      prefer_migrate = stats_.lookups.ratio() >= pc;
+      break;
+    }
+    case PressurePolicy::kAlwaysEvict:
+      prefer_migrate = false;
+      break;
+    case PressurePolicy::kAlwaysMigrate:
+      prefer_migrate = true;
+      break;
+  }
+
+  if (prefer_migrate && store_.externalize_slab(cls, rng_)) {
+    ++stats_.pressure_migrations;
+    return true;
+  }
+  // Evict the least recently used item within the requesting class.
+  if (auto evicted = store_.evict_lru(cls)) {
+    ++stats_.pressure_evictions;
+    remove_index_entry(evicted->first, evicted->second);
+    return true;
+  }
+  // Last resort: migrate even if eviction was preferred but impossible.
+  if (store_.externalize_slab(cls, rng_)) {
+    ++stats_.pressure_migrations;
+    return true;
+  }
+  return false;
+}
+
+MissPlan FineGrainedReadCache::plan_miss(const FgKey& key) {
+  const std::uint32_t refs = ghosts_.record(key);
+  MissPlan plan;
+  if (refs < adaptive_.threshold()) {
+    // Below the promotion threshold: low-reuse data stages through TempBuf
+    // so it cannot pollute the cache.
+    ++stats_.tempbuf_fills;
+    plan.dest = tempbuf_addr(key.len);
+    plan.promoted = false;
+    return plan;
+  }
+
+  const std::uint32_t cls = store_.class_for(key.len);
+  std::optional<ItemLoc> loc = store_.allocate(key);
+  while (!loc) {
+    if (!relieve_pressure(cls)) break;
+    loc = store_.allocate(key);
+  }
+  if (!loc) {
+    // No space and no relief possible: serve through TempBuf.
+    ++stats_.tempbuf_fills;
+    plan.dest = tempbuf_addr(key.len);
+    plan.promoted = false;
+    return plan;
+  }
+
+  ghosts_.forget(key);
+  ++stats_.promotions;
+  tables_[key.file].emplace(key.offset, *loc);
+  plan.dest = store_.hmb_addr(*loc);
+  plan.promoted = true;
+  plan.loc = *loc;
+  return plan;
+}
+
+void FineGrainedReadCache::remove_index_entry(const FgKey& key, ItemLoc loc) {
+  auto table_it = tables_.find(key.file);
+  PIPETTE_ASSERT(table_it != tables_.end());
+  auto [lo, hi] = table_it->second.equal_range(key.offset);
+  for (auto it = lo; it != hi; ++it) {
+    if (it->second == loc) {
+      table_it->second.erase(it);
+      return;
+    }
+  }
+  PIPETTE_ASSERT_MSG(false, "index entry missing for cached item");
+}
+
+std::uint32_t FineGrainedReadCache::invalidate_range(FileId file,
+                                                     std::uint64_t offset,
+                                                     std::uint64_t len,
+                                                     const FgKey* keep) {
+  auto table_it = tables_.find(file);
+  if (table_it == tables_.end()) return 0;
+  FileTable& table = table_it->second;
+  std::uint32_t removed = 0;
+  // Items are keyed by start offset; an overlapping item can start at most
+  // (max item size - 1) bytes before the write.
+  const std::uint64_t max_len = config_.slab.class_sizes.back();
+  auto it = table.lower_bound(offset >= max_len ? offset - max_len : 0);
+  while (it != table.end() && it->first < offset + len) {
+    const FgKey k = store_.key(it->second);
+    const bool overlaps = k.offset < offset + len && offset < k.offset + k.len;
+    if (overlaps && !(keep != nullptr && k == *keep)) {
+      store_.free_item(it->second);
+      it = table.erase(it);
+      ++removed;
+      ++stats_.invalidations;
+    } else {
+      ++it;
+    }
+  }
+  // Stale reference counts must not fast-track re-promotion of overwritten
+  // data.
+  ghosts_.forget({file, offset, static_cast<std::uint32_t>(len)});
+  return removed;
+}
+
+bool FineGrainedReadCache::update_in_place(
+    const FgKey& key, std::span<const std::uint8_t> data) {
+  PIPETTE_ASSERT(data.size() == key.len);
+  auto table_it = tables_.find(key.file);
+  if (table_it == tables_.end()) return false;
+  auto [lo, hi] = table_it->second.equal_range(key.offset);
+  for (auto it = lo; it != hi; ++it) {
+    if (store_.key(it->second) == key) {
+      auto dest = store_.mutable_data(it->second);
+      std::copy(data.begin(), data.end(), dest.begin());
+      store_.touch(it->second);
+      return true;
+    }
+  }
+  return false;
+}
+
+void FineGrainedReadCache::run_reassignment_epoch() {
+  // Maintenance thread: find slab classes whose eviction counts did not
+  // change over the epoch ("unchanged in stages") and hold more than one
+  // slab; re-balance thread: migrate one of their slabs out, returning the
+  // slab to the free pool.
+  for (std::uint32_t cls = 0; cls < store_.classes(); ++cls) {
+    const SlabClassStats st = store_.class_stats(cls);
+    const bool stagnant = st.evictions == evictions_at_epoch_[cls];
+    evictions_at_epoch_[cls] = st.evictions;
+    if (stagnant && st.slabs > 1 && store_.free_slabs() == 0) {
+      if (store_.externalize_slab_of(cls)) {
+        ++stats_.reassigned_slabs;
+        break;  // one slab per maintenance pass, like the prototype
+      }
+    }
+  }
+}
+
+}  // namespace pipette

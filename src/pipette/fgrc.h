@@ -1,0 +1,128 @@
+// The Fine-Grained Read Cache (paper §3.2): per-file hash lookup tables in
+// front of the slab store, the adaptive promotion policy, the dynamic
+// allocation strategy (page cache vs FGRC hit-ratio arbitration under
+// memory pressure), and the adaptive slab reassignment performed by the
+// prototype's maintenance/re-balance threads.
+//
+// Threads vs simulation: the paper runs maintenance and re-balance as
+// kernel threads. In this deterministic simulation their work is performed
+// at epoch boundaries counted in fine-grained accesses, which preserves the
+// mechanism (periodic inspection of per-class eviction counts, migration of
+// stagnant slabs back to the free pool) without nondeterministic timing.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "pipette/adaptive.h"
+#include "pipette/slab_store.h"
+#include "ssd/hmb.h"
+
+namespace pipette {
+
+enum class PressurePolicy {
+  kDynamic,        // paper §3.2.4: compare hit ratios
+  kAlwaysEvict,    // ablation: always solution 1
+  kAlwaysMigrate,  // ablation: always solution 2
+};
+
+struct ReassignConfig {
+  bool enabled = true;
+  std::uint64_t epoch_accesses = 64 * 1024;  // maintenance period
+};
+
+struct FgrcConfig {
+  SlabConfig slab;
+  AdaptiveConfig adaptive;
+  ReassignConfig reassign;
+  PressurePolicy policy = PressurePolicy::kDynamic;
+};
+
+struct FgrcStats {
+  RatioCounter lookups;
+  std::uint64_t promotions = 0;       // misses admitted into the cache
+  std::uint64_t tempbuf_fills = 0;    // misses served through TempBuf only
+  std::uint64_t invalidations = 0;    // items deleted by writes
+  std::uint64_t pressure_evictions = 0;
+  std::uint64_t pressure_migrations = 0;
+  std::uint64_t reassigned_slabs = 0;
+};
+
+/// Where a fine-grained miss's bytes should land.
+struct MissPlan {
+  HmbAddr dest = kInvalidHmbAddr;
+  bool promoted = false;   // true: dest is a cache item; false: TempBuf
+  ItemLoc loc;             // valid when promoted
+};
+
+class FineGrainedReadCache {
+ public:
+  /// `page_cache_hits` is the page cache's hit counter, consulted by the
+  /// dynamic allocation strategy; may be null (treated as ratio 0).
+  FineGrainedReadCache(Hmb& hmb, FgrcConfig config,
+                       const RatioCounter* page_cache_hits);
+
+  /// Hit path: bytes of the cached object, or nullopt. Records hit/miss
+  /// statistics, reference counting, and adaptive-threshold accounting.
+  std::optional<std::span<const std::uint8_t>> lookup(const FgKey& key);
+
+  /// Miss path: decide placement for the incoming bytes and reserve it.
+  /// Called after lookup() returned nullopt for this key.
+  MissPlan plan_miss(const FgKey& key);
+
+  /// Delete any cached items overlapping a write to [offset, offset+len)
+  /// of `file` (§3.1.3 consistency rule), except an optional `keep` key
+  /// (used by the fine-write path after an in-place update). Returns items
+  /// removed.
+  std::uint32_t invalidate_range(FileId file, std::uint64_t offset,
+                                 std::uint64_t len,
+                                 const FgKey* keep = nullptr);
+
+  /// Fine-grained write extension: if exactly `key` is cached, overwrite
+  /// its bytes in place (keeping the cache warm) and return true; callers
+  /// still invalidate any *other* overlapping items.
+  bool update_in_place(const FgKey& key, std::span<const std::uint8_t> data);
+
+  /// Bytes of a (live) item.
+  std::span<const std::uint8_t> item_data(ItemLoc loc) const {
+    return store_.data(loc);
+  }
+
+  const FgrcStats& stats() const { return stats_; }
+  const SlabStore& store() const { return store_; }
+  const AdaptiveThreshold& adaptive() const { return adaptive_; }
+  std::uint64_t memory_bytes() const { return store_.memory_bytes(); }
+  RatioCounter& hit_counter() { return stats_.lookups; }
+
+  /// TempBuf staging address for `len` bytes (rotating bump pointer).
+  HmbAddr tempbuf_addr(std::uint32_t len);
+
+ private:
+  // Per-file table: ordered by offset so write invalidation can find
+  // overlapping ranges without scanning the whole file's items.
+  using FileTable = std::multimap<std::uint64_t, ItemLoc>;
+
+  void remove_index_entry(const FgKey& key, ItemLoc loc);
+  bool relieve_pressure(std::uint32_t cls);
+  void run_reassignment_epoch();
+
+  Hmb& hmb_;
+  FgrcConfig config_;
+  SlabStore store_;
+  AdaptiveThreshold adaptive_;
+  ReferenceTracker ghosts_;
+  const RatioCounter* page_cache_hits_;
+  std::unordered_map<FileId, FileTable> tables_;
+  FgrcStats stats_;
+  Rng rng_{0xcafe};
+  HmbAddr tempbuf_cursor_ = 0;
+  std::uint64_t accesses_since_epoch_ = 0;
+  std::vector<std::uint64_t> evictions_at_epoch_;  // per class
+};
+
+}  // namespace pipette

@@ -1,0 +1,57 @@
+// Experiment runner: drives a workload through a machine (warmup phase +
+// measured phase) and collects the metrics every table/figure in the paper
+// reports — throughput, I/O traffic, latency, cache hit ratios, memory use.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/machine.h"
+#include "workload/workload.h"
+
+namespace pipette {
+
+struct RunConfig {
+  std::uint64_t requests = 500'000;  // measured requests
+  std::uint64_t warmup = 250'000;    // cache-warming requests (not measured)
+};
+
+struct RunResult {
+  std::string path_name;
+  std::uint64_t requests = 0;
+  std::uint64_t bytes_requested = 0;
+  SimDuration elapsed = 0;          // simulated time of the measured phase
+  std::uint64_t traffic_bytes = 0;  // device->host bytes, measured phase
+
+  double mean_latency_us = 0.0;
+  double p50_latency_us = 0.0;
+  double p99_latency_us = 0.0;
+
+  double page_cache_hit_ratio = 0.0;   // over the measured phase
+  double fgrc_hit_ratio = 0.0;         // Pipette kinds only
+  std::uint64_t page_cache_bytes = 0;  // resident at end of run
+  std::uint64_t fgrc_bytes = 0;        // FGRC memory at end of run
+
+  double requests_per_sec() const {
+    return elapsed == 0 ? 0.0
+                        : static_cast<double>(requests) /
+                              (static_cast<double>(elapsed) / 1e9);
+  }
+  double throughput_mib_s() const {
+    return elapsed == 0
+               ? 0.0
+               : static_cast<double>(bytes_requested) / (1024.0 * 1024.0) /
+                     (static_cast<double>(elapsed) / 1e9);
+  }
+};
+
+/// Build the machine for `kind`, create the workload's files, run warmup +
+/// measurement, and return the measured metrics.
+RunResult run_experiment(const MachineConfig& config, Workload& workload,
+                         const RunConfig& run);
+
+/// Normalised throughput: each result's requests/sec over the baseline's.
+double normalized_throughput(const RunResult& result,
+                             const RunResult& baseline);
+
+}  // namespace pipette

@@ -1,0 +1,55 @@
+// Machine: one simulated host + SSD + file system with one read-path
+// implementation installed — the unit every experiment instantiates once
+// per system under comparison.
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "fs/vfs.h"
+#include "iopath/block_io_path.h"
+#include "iopath/pipette_path.h"
+#include "iopath/twob_ssd_path.h"
+#include "sim/machine_config.h"
+#include "workload/workload.h"
+
+namespace pipette {
+
+class Machine {
+ public:
+  Machine(const MachineConfig& config, std::span<const FileSpec> files);
+
+  Simulator& sim() { return sim_; }
+  Vfs& vfs() { return *vfs_; }
+  SsdController& ssd() { return *ssd_; }
+  FileSystem& fs() { return *fs_; }
+  PathKind kind() const { return config_.kind; }
+
+  /// The installed path, and typed accessors (nullptr if another kind).
+  ReadPathBase& path() { return *path_; }
+  BlockIoPath* block_path();    // kBlockIo only
+  PipettePath* pipette_path();  // kPipette / kPipetteNoCache only
+  TwoBSsdPath* twob_path();     // kTwoBMmio / kTwoBDma only
+
+  /// The page cache of whichever path has one (block or pipette kinds).
+  PageCache* page_cache();
+
+  /// Device -> host bytes moved so far (the paper's I/O traffic metric).
+  std::uint64_t io_traffic_bytes() const { return ssd_->stats().bytes_to_host; }
+
+  /// Open flags appropriate for this machine's path (fine-grained kinds add
+  /// O_FINE_GRAINED).
+  int open_flags(bool writable) const;
+
+ private:
+  MachineConfig config_;
+  Simulator sim_;
+  std::unique_ptr<SsdController> ssd_;
+  std::unique_ptr<FileSystem> fs_;
+  std::unique_ptr<ReadPathBase> path_;
+  std::unique_ptr<Vfs> vfs_;
+};
+
+const char* to_string(PathKind kind);
+
+}  // namespace pipette

@@ -1,0 +1,167 @@
+// SSD controller: NVMe command processing, device DRAM read buffer, and the
+// device-side Fine-Grained Read Engine (paper §3.1.2, Fig. 4).
+//
+// Commands arrive through submit(): a submission cost models the driver/SQ
+// doorbell/fetch path, a firmware cost models the controller's 2-core FTL
+// work, then the opcode-specific flow runs on the discrete-event simulator:
+//
+//  kRead       block read of nlb pages -> NAND (parallel across dies) ->
+//              one DMA of nlb*4KiB to the host buffer.
+//  kWrite      block write -> content overlay update -> NAND programs.
+//  kFgRead     the Fine-Grained Read Engine: (1) load each distinct NAND
+//              page into the read buffer, (2) consume the matching Info Area
+//              records to learn destination addresses, (3) extract the
+//              demanded ranges and DMA each to its HMB destination, then
+//              bump the Info Area head.
+//  kReadToCmb  2B-SSD support: load one page into a CMB slot; the host then
+//              pulls bytes out via MMIO or DMA (host-side cost).
+//
+// The device DRAM read buffer is an LRU page cache in controller memory
+// (Fig. 5's "Max DDR size 4GB"); all read flows consult it, which is what
+// lets repeated fine-grained reads skip the NAND tR.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/lru.h"
+#include "common/stats.h"
+#include "des/simulator.h"
+#include "nand/nand.h"
+#include "ssd/cmb.h"
+#include "ssd/disk_content.h"
+#include "ssd/ftl.h"
+#include "ssd/hmb.h"
+#include "ssd/pcie.h"
+#include "ssd/types.h"
+
+namespace pipette {
+
+enum class Opcode { kRead, kWrite, kFgRead, kFgWrite, kReadToCmb };
+
+/// One fine-grained range of a kFgRead command. `info_index` is the
+/// monotonic Info Area index the host pushed for this range.
+struct FgRange {
+  Lba lba = kInvalidLba;
+  std::uint32_t offset = 0;  // byte offset within the 4 KiB block
+  std::uint32_t len = 0;
+  std::uint64_t info_index = 0;
+};
+
+struct Command {
+  Opcode op = Opcode::kRead;
+  Lba lba = 0;
+  std::uint32_t nlb = 1;
+  std::span<std::uint8_t> host_dest;       // kRead: where data lands
+  std::vector<std::uint8_t> write_data;    // kWrite/kFgWrite: payload
+  std::vector<FgRange> ranges;             // kFgRead/kFgWrite: byte ranges;
+                                           // for kFgWrite the payload bytes
+                                           // of range i are consecutive in
+                                           // write_data (info_index unused)
+};
+
+struct CommandResult {
+  SimTime completed_at = 0;
+  std::uint32_t cmb_slot = 0;  // kReadToCmb: slot holding the page
+};
+
+struct ControllerTiming {
+  SimDuration submission = 700;        // driver + doorbell + fetch
+  SimDuration completion = 500;        // CQ entry + interrupt/poll
+  SimDuration firmware_per_cmd = 1200; // FTL lookup + scheduling
+  SimDuration firmware_per_range = 250;  // range extraction in the engine
+};
+
+struct ControllerConfig {
+  NandGeometry geometry;
+  NandTiming nand_timing;
+  NandFaultModel faults;
+  PcieTiming pcie;
+  ControllerTiming timing;
+  std::uint64_t lba_count = 0;             // 0 = max addressable
+  std::uint64_t read_buffer_bytes = 1 * kGiB;  // device DRAM page buffer
+  // Whether the block-read flow consults the device DRAM buffer. A standard
+  // NVMe data path does not cache payload in controller DRAM (it holds FTL
+  // state), while the fine-grained firmware keeps its mapping region of
+  // recently loaded pages resident — the asymmetry 2B-SSD and Pipette rely
+  // on. Enable to ablate.
+  bool block_reads_use_buffer = false;
+  std::uint32_t cmb_slots = 64;
+  Hmb::Layout hmb;
+  std::uint64_t content_seed = 0xd15c;
+};
+
+struct ControllerStats {
+  std::uint64_t commands = 0;
+  std::uint64_t block_reads = 0;
+  std::uint64_t block_writes = 0;
+  std::uint64_t fg_reads = 0;
+  std::uint64_t fg_ranges = 0;
+  std::uint64_t fg_writes = 0;
+  std::uint64_t cmb_reads = 0;
+  std::uint64_t bytes_to_host = 0;    // read I/O traffic, the paper's metric
+  std::uint64_t bytes_from_host = 0;  // write payload traffic
+  RatioCounter read_buffer;         // device DRAM buffer hit ratio
+};
+
+class SsdController {
+ public:
+  using Completion = std::function<void(const CommandResult&)>;
+
+  SsdController(Simulator& sim, const ControllerConfig& config);
+
+  /// Submit a command; `done` runs at completion time on the simulator.
+  void submit(Command cmd, Completion done);
+
+  /// Host-side pull of `out.size()` bytes from a CMB slot starting at
+  /// `offset` (2B-SSD). Copies the bytes and returns the host-synchronous
+  /// cost (MMIO transactions, or DMA setup+transfer when `via_dma`).
+  SimDuration read_from_cmb(std::uint32_t slot, std::uint32_t offset,
+                            std::span<std::uint8_t> out, bool via_dma);
+
+  Hmb& hmb() { return hmb_; }
+  DiskContent& content() { return content_; }
+  const NandArray& nand() const { return nand_; }
+  const Ftl& ftl() const { return ftl_; }
+  PcieLink& pcie() { return pcie_; }
+  const ControllerStats& stats() const { return stats_; }
+  const ControllerConfig& config() const { return config_; }
+
+  /// Account device->host bytes moved outside submit() flows (CMB pulls).
+  void add_host_traffic(std::uint64_t bytes) { stats_.bytes_to_host += bytes; }
+
+ private:
+  struct FgJob;
+
+  /// Ensure the page of `lba` is in the device read buffer; `ready` runs
+  /// (possibly immediately) once it is. When `use_buffer` is false the page
+  /// is always sensed from NAND and not retained.
+  void stage_page(Lba lba, Simulator::Callback ready, bool use_buffer = true);
+
+  /// Execute any relocations the FTL's GC queued (background NAND work).
+  void perform_gc_moves();
+
+  void do_block_read(Command cmd, Completion done);
+  void do_block_write(Command cmd, Completion done);
+  void do_fg_read(Command cmd, Completion done);
+  void do_fg_write(Command cmd, Completion done);
+  void do_read_to_cmb(Command cmd, Completion done);
+
+  void complete(Completion& done, CommandResult result);
+
+  Simulator& sim_;
+  ControllerConfig config_;
+  DiskContent content_;
+  NandArray nand_;
+  Ftl ftl_;
+  PcieLink pcie_;
+  Hmb hmb_;
+  Cmb cmb_;
+  LruMap<Lba, char> read_buffer_;  // presence set over device DRAM pages
+  ControllerStats stats_;
+};
+
+}  // namespace pipette

@@ -1,0 +1,39 @@
+#include "ssd/disk_content.h"
+
+#include <cstring>
+
+#include "common/assert.h"
+#include "common/bytes.h"
+
+namespace pipette {
+
+void DiskContent::read(Lba lba, std::uint32_t offset,
+                       std::span<std::uint8_t> out) const {
+  PIPETTE_ASSERT(offset + out.size() <= kBlockSize);
+  auto it = overlay_.find(lba);
+  if (it != overlay_.end()) {
+    std::memcpy(out.data(), it->second->data() + offset, out.size());
+    return;
+  }
+  fill_pattern(out, seed_ ^ lba, offset);
+}
+
+void DiskContent::write(Lba lba, std::uint32_t offset,
+                        std::span<const std::uint8_t> in) {
+  PIPETTE_ASSERT(offset + in.size() <= kBlockSize);
+  auto it = overlay_.find(lba);
+  if (it == overlay_.end()) {
+    auto block = std::make_unique<Block>();
+    fill_pattern(std::span<std::uint8_t>(block->data(), kBlockSize),
+                 seed_ ^ lba, 0);
+    it = overlay_.emplace(lba, std::move(block)).first;
+  }
+  std::memcpy(it->second->data() + offset, in.data(), in.size());
+}
+
+std::uint8_t DiskContent::pristine_byte(Lba lba, std::uint32_t offset) const {
+  PIPETTE_ASSERT(offset < kBlockSize);
+  return pattern_byte(seed_ ^ lba, offset);
+}
+
+}  // namespace pipette

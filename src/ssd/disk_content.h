@@ -1,0 +1,49 @@
+// Logical content of the drive.
+//
+// Rather than storing hundreds of gigabytes, the content of every logical
+// block is a deterministic pattern keyed by its LBA, with a sparse overlay
+// holding blocks that have been written. Every read path in the stack copies
+// real bytes sourced from here, so end-to-end data correctness is testable
+// without materialising the drive.
+//
+// Note the simplification this implies: payload identity is keyed by LBA
+// (logical), while timing is keyed by the FTL's physical mapping. Remapping
+// a block on write changes where time is spent, never what data means.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+
+#include "ssd/types.h"
+
+namespace pipette {
+
+class DiskContent {
+ public:
+  explicit DiskContent(std::uint64_t seed = 0xd15c) : seed_(seed) {}
+
+  /// Copy `out.size()` content bytes of block `lba` starting at `offset`.
+  void read(Lba lba, std::uint32_t offset, std::span<std::uint8_t> out) const;
+
+  /// Overwrite content bytes of block `lba` starting at `offset`.
+  void write(Lba lba, std::uint32_t offset, std::span<const std::uint8_t> in);
+
+  /// The pristine (never-written) content byte — what tests compare against.
+  std::uint8_t pristine_byte(Lba lba, std::uint32_t offset) const;
+
+  /// Number of blocks materialised by writes.
+  std::size_t dirty_blocks() const { return overlay_.size(); }
+
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  using Block = std::array<std::uint8_t, kBlockSize>;
+
+  std::uint64_t seed_;
+  std::unordered_map<Lba, std::unique_ptr<Block>> overlay_;
+};
+
+}  // namespace pipette

@@ -1,0 +1,205 @@
+#include "ssd/ftl.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/assert.h"
+
+namespace pipette {
+
+Ftl::Ftl(const NandGeometry& geometry, std::uint64_t lba_count)
+    : geometry_(geometry),
+      lba_count_(lba_count),
+      pages_per_die_(geometry.pages_per_die()),
+      pages_per_block_(geometry.pages_per_block),
+      blocks_per_die_(pages_per_die_ / geometry.pages_per_block) {
+  PIPETTE_ASSERT(geometry_.page_size == kBlockSize);
+  PIPETTE_ASSERT(pages_per_die_ % pages_per_block_ == 0);
+  const std::uint64_t total_pages = geometry.total_pages();
+  PIPETTE_ASSERT_MSG(lba_count <= total_pages - total_pages / 8,
+                     "need >= 12.5% spare pages for write allocation");
+
+  map_.resize(lba_count);
+  reverse_.assign(total_pages, kInvalidLba);
+  blocks_.resize(geometry.dies() * blocks_per_die_);
+  free_blocks_.resize(geometry.dies());
+  active_block_.assign(geometry.dies(), ~0ull);
+
+  // Initial striping: LBA i lives on channel (i % C), way ((i / C) % W),
+  // die-local page (i / (C*W)). Linear index is die-major.
+  const std::uint64_t c = geometry_.channels;
+  const std::uint64_t w = geometry_.ways_per_channel;
+  for (std::uint64_t i = 0; i < lba_count; ++i) {
+    const std::uint64_t channel = i % c;
+    const std::uint64_t way = (i / c) % w;
+    const std::uint64_t page = i / (c * w);
+    const std::uint64_t die = channel * w + way;
+    const std::uint64_t linear = die * pages_per_die_ + page;
+    map_[i] = linear;
+    reverse_[linear] = i;
+  }
+  // Block bookkeeping for the initially-used region; everything beyond is
+  // free.
+  const std::uint64_t used_per_die = (lba_count + c * w - 1) / (c * w);
+  for (std::uint64_t die = 0; die < geometry.dies(); ++die) {
+    std::uint64_t used_this_die = used_per_die;
+    // The last dies may hold one page fewer; recompute exactly.
+    {
+      std::uint64_t count = 0;
+      // lba residing on this die: those with (lba % (c*w)) ==
+      // channel-major die index mapping; count = ceil((lba_count - idx)/cw)
+      const std::uint64_t channel = die / w;
+      const std::uint64_t way = die % w;
+      const std::uint64_t idx = way * c + channel;  // first lba on this die
+      if (idx < lba_count) count = (lba_count - idx + c * w - 1) / (c * w);
+      used_this_die = count;
+    }
+    const std::uint64_t full_blocks = used_this_die / pages_per_block_;
+    const std::uint32_t partial =
+        static_cast<std::uint32_t>(used_this_die % pages_per_block_);
+    for (std::uint64_t b = 0; b < blocks_per_die_; ++b) {
+      Block& block = blocks_[die * blocks_per_die_ + b];
+      if (b < full_blocks) {
+        block.next_slot = pages_per_block_;
+        block.valid = pages_per_block_;
+      } else if (b == full_blocks && partial > 0) {
+        // Partially-filled boundary block: the remaining slots are treated
+        // as unusable until GC erases the block (flash pages must be
+        // programmed in order and the block is no longer the active one).
+        block.next_slot = pages_per_block_;
+        block.valid = partial;
+      } else {
+        free_blocks_[die].push_back(die * blocks_per_die_ + b);
+      }
+    }
+    // LIFO pool: reverse so low block ids are popped first.
+    std::reverse(free_blocks_[die].begin(), free_blocks_[die].end());
+  }
+}
+
+PhysPageAddr Ftl::decode(std::uint64_t linear) const {
+  const std::uint64_t die = linear / pages_per_die_;
+  PhysPageAddr addr;
+  addr.channel = static_cast<std::uint32_t>(die / geometry_.ways_per_channel);
+  addr.way = static_cast<std::uint32_t>(die % geometry_.ways_per_channel);
+  addr.page = linear % pages_per_die_;
+  return addr;
+}
+
+std::uint64_t Ftl::encode(const PhysPageAddr& addr) const {
+  const std::uint64_t die =
+      static_cast<std::uint64_t>(addr.channel) * geometry_.ways_per_channel +
+      addr.way;
+  return die * pages_per_die_ + addr.page;
+}
+
+std::uint64_t Ftl::die_of_linear(std::uint64_t linear) const {
+  return linear / pages_per_die_;
+}
+
+PhysPageAddr Ftl::lookup(Lba lba) const {
+  PIPETTE_ASSERT(lba < lba_count_);
+  return decode(map_[lba]);
+}
+
+std::uint64_t Ftl::free_blocks(std::uint32_t die) const {
+  PIPETTE_ASSERT(die < free_blocks_.size());
+  return free_blocks_[die].size();
+}
+
+std::uint64_t Ftl::alloc_page(std::uint64_t die, bool allow_gc) {
+  auto active_has_room = [&]() {
+    const std::uint64_t id = active_block_[die];
+    return id != ~0ull && blocks_[id].next_slot < pages_per_block_;
+  };
+  if (!active_has_room()) {
+    if (allow_gc && free_blocks_[die].size() <= kGcLowWater) collect(die);
+    // GC's own relocations may have installed a fresh active block with
+    // room left; popping another would orphan it half-filled.
+    if (!active_has_room()) {
+      PIPETTE_ASSERT_MSG(!free_blocks_[die].empty(),
+                         "die out of free blocks even after GC");
+      const std::uint64_t block_id = free_blocks_[die].back();
+      free_blocks_[die].pop_back();
+      active_block_[die] = block_id;
+      PIPETTE_ASSERT(blocks_[block_id].next_slot == 0);
+    }
+  }
+  const std::uint64_t block_id = active_block_[die];
+  Block& block = blocks_[block_id];
+  const std::uint64_t page_in_die =
+      (block_id % blocks_per_die_) * pages_per_block_ + block.next_slot;
+  ++block.next_slot;
+  ++block.valid;
+  return die * pages_per_die_ + page_in_die;
+}
+
+void Ftl::collect(std::uint64_t die) {
+  // Greedy victim: the fully-written, non-active block with the fewest
+  // valid pages on this die. A fully valid block yields no net space
+  // (erase gain == relocation cost), so it is never worth collecting.
+  std::uint64_t victim = ~0ull;
+  std::uint32_t best_valid = pages_per_block_;  // must strictly improve
+  for (std::uint64_t b = 0; b < blocks_per_die_; ++b) {
+    const std::uint64_t id = die * blocks_per_die_ + b;
+    const Block& block = blocks_[id];
+    if (id == active_block_[die]) continue;
+    if (block.next_slot != pages_per_block_) continue;  // not sealed
+    if (block.valid < best_valid) {
+      best_valid = block.valid;
+      victim = id;
+    }
+  }
+  if (victim == ~0ull) return;  // nothing collectable yet
+  ++stats_.gc_collections;
+
+  // Relocate the victim's valid pages. Targets come from this die's
+  // remaining pool (the victim is erased afterwards, so net free space
+  // grows whenever best_valid < pages_per_block).
+  const std::uint64_t first_linear =
+      die * pages_per_die_ + (victim % blocks_per_die_) * pages_per_block_;
+  for (std::uint32_t s = 0; s < pages_per_block_; ++s) {
+    const std::uint64_t linear = first_linear + s;
+    const Lba lba = reverse_[linear];
+    if (lba == kInvalidLba) continue;
+    const std::uint64_t target = alloc_page(die, /*allow_gc=*/false);
+    map_[lba] = target;
+    reverse_[target] = lba;
+    reverse_[linear] = kInvalidLba;
+    pending_moves_.push_back({decode(linear), decode(target)});
+    ++stats_.gc_relocated_pages;
+  }
+  // Erase the victim.
+  blocks_[victim] = Block{};
+  free_blocks_[die].push_back(victim);
+  ++stats_.blocks_erased;
+}
+
+PhysPageAddr Ftl::update(Lba lba) {
+  PIPETTE_ASSERT(lba < lba_count_);
+  ++stats_.writes_mapped;
+
+  // Invalidate the superseded page.
+  const std::uint64_t old_linear = map_[lba];
+  const std::uint64_t old_block =
+      die_of_linear(old_linear) * blocks_per_die_ +
+      (old_linear % pages_per_die_) / pages_per_block_;
+  PIPETTE_ASSERT(blocks_[old_block].valid > 0);
+  --blocks_[old_block].valid;
+  reverse_[old_linear] = kInvalidLba;
+  ++stats_.invalidated_pages;
+
+  // Round-robin die selection spreads write bursts across the array.
+  const std::uint64_t die = next_die_;
+  next_die_ = (next_die_ + 1) % geometry_.dies();
+  const std::uint64_t target = alloc_page(die);
+  map_[lba] = target;
+  reverse_[target] = lba;
+  return decode(target);
+}
+
+std::vector<GcMove> Ftl::take_gc_moves() {
+  return std::exchange(pending_moves_, {});
+}
+
+}  // namespace pipette

@@ -1,0 +1,102 @@
+// Page-mapped flash translation layer with garbage collection.
+//
+// The initial map stripes consecutive LBAs across channels then ways
+// (maximising read parallelism). Writes allocate from a per-die active
+// block, with dies chosen round-robin so bursts of writes spread across
+// the array; the superseded page is invalidated in its block's bookkeeping.
+// When a die's free-block pool runs low, greedy GC picks the fully-written
+// block with the fewest valid pages, relocates those pages into fresh
+// locations and erases the block. Relocations are exposed through
+// take_gc_moves() so the controller can charge their NAND work to the
+// simulation clock.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nand/nand.h"
+#include "ssd/types.h"
+
+namespace pipette {
+
+struct FtlStats {
+  std::uint64_t reads_mapped = 0;
+  std::uint64_t writes_mapped = 0;
+  std::uint64_t invalidated_pages = 0;
+  std::uint64_t gc_collections = 0;
+  std::uint64_t gc_relocated_pages = 0;
+  std::uint64_t blocks_erased = 0;
+
+  /// Physical pages programmed per host page written (>= 1.0).
+  double write_amplification() const {
+    return writes_mapped == 0
+               ? 1.0
+               : static_cast<double>(writes_mapped + gc_relocated_pages) /
+                     static_cast<double>(writes_mapped);
+  }
+};
+
+/// One GC relocation the device must perform (read `from`, program `to`).
+struct GcMove {
+  PhysPageAddr from;
+  PhysPageAddr to;
+};
+
+class Ftl {
+ public:
+  /// Creates a mapping for `lba_count` logical blocks over `geometry`.
+  /// Requires lba_count <= 87.5% of total pages (overprovisioning headroom
+  /// for write allocation and GC).
+  Ftl(const NandGeometry& geometry, std::uint64_t lba_count);
+
+  /// Physical location currently holding `lba`.
+  PhysPageAddr lookup(Lba lba) const;
+
+  /// Allocate a new physical page for a write of `lba`, invalidating the
+  /// old mapping; may trigger GC (drain take_gc_moves() afterwards).
+  PhysPageAddr update(Lba lba);
+
+  /// Relocations performed since the last call (cleared on return).
+  std::vector<GcMove> take_gc_moves();
+
+  std::uint64_t lba_count() const { return lba_count_; }
+  const FtlStats& stats() const { return stats_; }
+  std::uint64_t free_blocks(std::uint32_t die) const;
+
+  /// Record a read for statistics (kept out of lookup(), which is const).
+  void note_read() { ++stats_.reads_mapped; }
+
+ private:
+  static constexpr std::uint64_t kGcLowWater = 2;  // free blocks per die
+
+  struct Block {
+    std::uint32_t next_slot = 0;   // pages written so far
+    std::uint32_t valid = 0;       // still-mapped pages
+  };
+
+  PhysPageAddr decode(std::uint64_t linear) const;
+  std::uint64_t encode(const PhysPageAddr& addr) const;
+  std::uint64_t die_of_linear(std::uint64_t linear) const;
+  /// Allocate the next page on `die`, running GC beforehand if the pool is
+  /// low (GC-internal relocation allocates with allow_gc = false to avoid
+  /// re-entrance). Updates bookkeeping for the containing block.
+  std::uint64_t alloc_page(std::uint64_t die, bool allow_gc = true);
+  void collect(std::uint64_t die);
+
+  NandGeometry geometry_;
+  std::uint64_t lba_count_;
+  std::uint64_t pages_per_die_;
+  std::uint32_t pages_per_block_;
+  std::uint64_t blocks_per_die_;
+
+  std::vector<std::uint64_t> map_;       // lba -> linear physical page
+  std::vector<Lba> reverse_;             // linear physical page -> lba
+  std::vector<Block> blocks_;            // global block id = die-major
+  std::vector<std::vector<std::uint64_t>> free_blocks_;  // per die (LIFO)
+  std::vector<std::uint64_t> active_block_;              // per die, global id
+  std::uint64_t next_die_ = 0;
+  std::vector<GcMove> pending_moves_;
+  FtlStats stats_;
+};
+
+}  // namespace pipette

@@ -1,0 +1,50 @@
+#include "ssd/hmb.h"
+
+#include <cstring>
+
+#include "common/assert.h"
+
+namespace pipette {
+
+InfoArea::InfoArea(std::uint32_t capacity)
+    : capacity_(capacity), slots_(capacity) {
+  PIPETTE_ASSERT(capacity > 0);
+}
+
+std::uint64_t InfoArea::push(const InfoRecord& rec) {
+  PIPETTE_ASSERT_MSG(!full(), "Info Area ring overflow");
+  const std::uint64_t idx = tail_++;
+  slots_[idx % capacity_] = rec;
+  return idx;
+}
+
+const InfoRecord& InfoArea::at(std::uint64_t idx) const {
+  PIPETTE_ASSERT_MSG(idx >= head_ && idx < tail_,
+                     "Info Area index outside live window");
+  return slots_[idx % capacity_];
+}
+
+void InfoArea::consume() {
+  PIPETTE_ASSERT_MSG(!empty(), "Info Area underflow");
+  ++head_;
+}
+
+Hmb::Hmb(const Layout& layout)
+    : layout_(layout),
+      tempbuf_offset_(static_cast<HmbAddr>(layout.info_slots) *
+                      sizeof(InfoRecord)),
+      data_offset_(tempbuf_offset_ + layout.tempbuf_bytes),
+      info_(layout.info_slots),
+      bytes_(data_offset_ + layout.data_bytes, 0) {}
+
+void Hmb::dma_write(HmbAddr dest, std::span<const std::uint8_t> src) {
+  PIPETTE_ASSERT(dest + src.size() <= bytes_.size());
+  std::memcpy(bytes_.data() + dest, src.data(), src.size());
+}
+
+void Hmb::read(HmbAddr src, std::span<std::uint8_t> out) const {
+  PIPETTE_ASSERT(src + out.size() <= bytes_.size());
+  std::memcpy(out.data(), bytes_.data() + src, out.size());
+}
+
+}  // namespace pipette

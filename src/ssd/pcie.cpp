@@ -1,0 +1,31 @@
+#include "ssd/pcie.h"
+
+#include <algorithm>
+
+namespace pipette {
+
+void PcieLink::dma(std::uint64_t bytes, Simulator::Callback on_done) {
+  const SimTime start = std::max(sim_.now(), busy_until_);
+  const SimTime end =
+      start + timing_.dma_overhead +
+      static_cast<SimDuration>(timing_.dma_ns_per_byte *
+                               static_cast<double>(bytes));
+  busy_until_ = end;
+  ++dma_transfers_;
+  dma_bytes_ += bytes;
+  sim_.schedule_at(end, std::move(on_done));
+}
+
+SimDuration PcieLink::mmio_read_cost(std::uint64_t bytes) const {
+  const std::uint64_t txs =
+      (bytes + timing_.mmio_tx_bytes - 1) / timing_.mmio_tx_bytes;
+  return txs * timing_.mmio_read_per_tx;
+}
+
+SimDuration PcieLink::dma_cost(std::uint64_t bytes) const {
+  return timing_.dma_overhead +
+         static_cast<SimDuration>(timing_.dma_ns_per_byte *
+                                  static_cast<double>(bytes));
+}
+
+}  // namespace pipette

@@ -1,0 +1,58 @@
+// PCIe interconnect cost model (Gen3 x4, per the paper's Fig. 5).
+//
+// Two transfer modes matter for the paper's comparison:
+//  * DMA: the device masters the bus; a transfer pays a fixed descriptor/
+//    doorbell overhead plus a per-byte cost, and transfers serialise on the
+//    link (modelled with a busy-until horizon). 2B-SSD's DMA mode pays an
+//    additional per-access IOMMU map/unmap (dma_map_cost) on the critical
+//    path; Pipette's HMB mapping is established once at initialisation, so
+//    its fine-grained reads skip it (§3.1.1).
+//  * MMIO: the CPU issues non-posted read transactions of at most 8 bytes
+//    (x86 uncached MMIO semantics), each a full link round trip; latency is
+//    therefore linear in size — the effect behind 2B-SSD MMIO's Fig. 8 curve.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.h"
+#include "des/simulator.h"
+
+namespace pipette {
+
+struct PcieTiming {
+  double dma_ns_per_byte = 0.3125;    // ~3.2 GB/s effective on Gen3 x4
+  SimDuration dma_overhead = 600;     // descriptor + doorbell per transfer
+  SimDuration dma_map_cost = 23 * kUs;  // per-access map/unmap (2B-SSD DMA)
+  SimDuration mmio_read_per_tx = 300;   // one non-posted 8 B read round trip
+  std::uint32_t mmio_tx_bytes = 8;
+};
+
+class PcieLink {
+ public:
+  PcieLink(Simulator& sim, PcieTiming timing) : sim_(sim), timing_(timing) {}
+
+  /// Schedule a DMA of `bytes`; `on_done` runs when the last TLP lands.
+  /// Transfers queue behind any in-flight DMA (shared link).
+  void dma(std::uint64_t bytes, Simulator::Callback on_done);
+
+  /// Pure cost of an MMIO read of `bytes` (CPU-synchronous; the caller adds
+  /// it to host time).
+  SimDuration mmio_read_cost(std::uint64_t bytes) const;
+
+  /// Pure cost of a DMA of `bytes`, without queueing (for host-side
+  /// reasoning/tests).
+  SimDuration dma_cost(std::uint64_t bytes) const;
+
+  const PcieTiming& timing() const { return timing_; }
+  std::uint64_t dma_transfers() const { return dma_transfers_; }
+  std::uint64_t dma_bytes() const { return dma_bytes_; }
+
+ private:
+  Simulator& sim_;
+  PcieTiming timing_;
+  SimTime busy_until_ = 0;
+  std::uint64_t dma_transfers_ = 0;
+  std::uint64_t dma_bytes_ = 0;
+};
+
+}  // namespace pipette

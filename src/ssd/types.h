@@ -1,0 +1,19 @@
+// Shared storage-address types.
+#pragma once
+
+#include <cstdint>
+
+namespace pipette {
+
+/// Logical block address, in units of one 4 KiB block (the device's minimal
+/// block-interface granularity, matching the paper's setup).
+using Lba = std::uint64_t;
+
+constexpr std::uint32_t kBlockSize = 4096;
+constexpr Lba kInvalidLba = ~Lba{0};
+
+/// Byte offset within the HMB region (device-visible host memory).
+using HmbAddr = std::uint64_t;
+constexpr HmbAddr kInvalidHmbAddr = ~HmbAddr{0};
+
+}  // namespace pipette

@@ -1,0 +1,106 @@
+#include "workload/linkbench.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace pipette {
+
+LinkBenchWorkload::LinkBenchWorkload(const LinkBenchConfig& config)
+    : config_(config), rng_(config.seed) {
+  PIPETTE_ASSERT(config.node_count > 0);
+  PIPETTE_ASSERT(config.node_payload <= config.node_slot);
+  files_.push_back(
+      {"nodes.dat",
+       config.node_count * static_cast<std::uint64_t>(config.node_slot)});
+  files_.push_back({"links.dat",
+                    config.node_count *
+                        static_cast<std::uint64_t>(config.link_record) *
+                        config.max_links_per_node});
+  node_zipf_ = std::make_unique<ScatteredZipf>(config.node_count,
+                                               config.zipf_alpha, config.seed);
+}
+
+GraphOp LinkBenchWorkload::draw_op() {
+  // LinkBench default mix. Reads: GET_NODE 12.9, GET_LINK 0.5,
+  // GET_LINKS_LIST 50.6, COUNT_LINKS 4.9. Writes: UPDATE_NODE 7.4,
+  // ADD_LINK 9.0, UPDATE_LINK 8.0, DELETE_LINK 3.0. (ADD_NODE/DELETE_NODE
+  // change the id space and are folded into UPDATE_NODE.)
+  const double reads_only_total = 12.9 + 0.5 + 50.6 + 4.9;
+  const double total = config_.read_only ? reads_only_total : 100.0 - 2.6 - 1.0;
+  double x = rng_.next_double() * total;
+  auto take = [&x](double share) {
+    if (x < share) return true;
+    x -= share;
+    return false;
+  };
+  if (take(12.9)) return GraphOp::kGetNode;
+  if (take(0.5)) return GraphOp::kGetLink;
+  if (take(50.6)) return GraphOp::kGetLinkList;
+  if (take(4.9)) return GraphOp::kCountLinks;
+  if (take(7.4 + 2.6 + 1.0)) return GraphOp::kUpdateNode;
+  if (take(9.0)) return GraphOp::kAddLink;
+  if (take(8.0)) return GraphOp::kUpdateLink;
+  return GraphOp::kDeleteLink;
+}
+
+std::uint64_t LinkBenchWorkload::hot_node() { return node_zipf_->sample(rng_); }
+
+Request LinkBenchWorkload::next() {
+  last_op_ = draw_op();
+  const std::uint64_t node = hot_node();
+  const std::uint64_t node_off =
+      node * static_cast<std::uint64_t>(config_.node_slot);
+  const std::uint64_t seg_bytes =
+      static_cast<std::uint64_t>(config_.link_record) *
+      config_.max_links_per_node;
+  const std::uint64_t seg_off = node * seg_bytes;
+
+  // List length: geometric-ish around the mean, deterministic in node id so
+  // a node's degree is stable across operations.
+  const std::uint32_t degree = 1 + static_cast<std::uint32_t>(
+                                       mix64(node) %
+                                       static_cast<std::uint64_t>(
+                                           2.0 * config_.mean_list_length));
+  const std::uint32_t list_links =
+      std::min(degree, config_.max_links_per_node);
+
+  switch (last_op_) {
+    case GraphOp::kGetNode:
+      return {0, node_off, config_.node_payload, false};
+    case GraphOp::kUpdateNode:
+      return {0, node_off, config_.node_payload, true};
+    case GraphOp::kGetLink: {
+      const std::uint32_t idx = static_cast<std::uint32_t>(
+          rng_.next_below(list_links));
+      return {1, seg_off + idx * config_.link_record, config_.link_record,
+              false};
+    }
+    case GraphOp::kGetLinkList:
+      return {1, seg_off, list_links * config_.link_record, false};
+    case GraphOp::kCountLinks:
+      // The count lives in the segment header (first record).
+      return {1, seg_off, config_.link_record, false};
+    case GraphOp::kAddLink: {
+      // Append after the current list, staying inside the segment.
+      const std::uint32_t idx =
+          std::min(list_links, config_.max_links_per_node - 1);
+      return {1, seg_off + idx * config_.link_record, config_.link_record,
+              true};
+    }
+    case GraphOp::kUpdateLink: {
+      const std::uint32_t idx = static_cast<std::uint32_t>(
+          rng_.next_below(list_links));
+      return {1, seg_off + idx * config_.link_record, config_.link_record,
+              true};
+    }
+    case GraphOp::kDeleteLink:
+      // Tombstone write over the last record.
+      return {1, seg_off + (list_links - 1) * config_.link_record,
+              config_.link_record, true};
+  }
+  PIPETTE_ASSERT(false);
+  return {};
+}
+
+}  // namespace pipette

@@ -1,0 +1,74 @@
+// Social-graph workload modelled on LinkBench (Armstrong et al., SIGMOD'13),
+// the benchmark the paper uses for its social-graph experiment ("we use the
+// graph and requests based on LinkBench's default setting").
+//
+// Object store layout (two files):
+//   nodes.dat — fixed 128 B slots; a node's payload averages ~88 B
+//               (Fig. 1 cites 87.6 B average node size).
+//   links.dat — per-node link segment holding the node's out-links; a link
+//               record is 16 B (ids + type + timestamp), with the ~11.3 B
+//               average edge payload folded in. GET_LINKS_LIST reads a
+//               prefix of the segment (LinkBench lists average ~10 links).
+//
+// The operation mix follows LinkBench's default configuration; node/link
+// popularity is zipfian with hot ids scattered over the id space, as in
+// the Facebook trace LinkBench models.
+#pragma once
+
+#include <memory>
+
+#include "common/rng.h"
+#include "common/zipf.h"
+#include "workload/workload.h"
+
+namespace pipette {
+
+struct LinkBenchConfig {
+  std::uint64_t node_count = 1u << 20;
+  std::uint32_t node_slot = 128;   // bytes reserved per node
+  std::uint32_t node_payload = 88;  // bytes actually read/written
+  std::uint32_t link_record = 16;
+  std::uint32_t max_links_per_node = 64;  // segment capacity
+  double mean_list_length = 10.0;
+  // LinkBench's node/link access CDF on the Facebook trace is close to a
+  // zipf with exponent ~0.9.
+  double zipf_alpha = 0.9;
+  std::uint64_t seed = 42;
+  bool read_only = false;  // drop the write operations from the mix
+};
+
+/// LinkBench default operation mix (percent).
+enum class GraphOp {
+  kGetNode,
+  kGetLink,
+  kGetLinkList,
+  kCountLinks,
+  kUpdateNode,
+  kAddLink,
+  kUpdateLink,
+  kDeleteLink,
+};
+
+class LinkBenchWorkload : public Workload {
+ public:
+  explicit LinkBenchWorkload(const LinkBenchConfig& config);
+
+  const std::vector<FileSpec>& files() const override { return files_; }
+  Request next() override;
+  std::string name() const override { return "social-graph"; }
+
+  /// Operation drawn for the most recent next() (for tests/metrics).
+  GraphOp last_op() const { return last_op_; }
+
+ private:
+  GraphOp draw_op();
+  std::uint64_t hot_node();
+
+  LinkBenchConfig config_;
+  std::vector<FileSpec> files_;
+  Rng rng_;
+  std::unique_ptr<ScatteredZipf> node_zipf_;
+  GraphOp last_op_ = GraphOp::kGetNode;
+};
+
+}  // namespace pipette

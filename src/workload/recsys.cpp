@@ -1,0 +1,40 @@
+#include "workload/recsys.h"
+
+#include "common/assert.h"
+
+namespace pipette {
+
+RecsysWorkload::RecsysWorkload(const RecsysConfig& config)
+    : config_(config), rng_(config.seed) {
+  PIPETTE_ASSERT(config.tables > 0);
+  PIPETTE_ASSERT(config.vector_size > 0);
+  rows_per_table_ =
+      config.total_bytes / config.tables / config.vector_size;
+  PIPETTE_ASSERT_MSG(rows_per_table_ > 0, "tables too small for a row");
+  const std::uint64_t file_size = static_cast<std::uint64_t>(config.tables) *
+                                  rows_per_table_ * config.vector_size;
+  files_.push_back({"embeddings.dat", file_size});
+  // One popularity law shared by all tables, scattered so hot vectors are
+  // spread over the whole file (each table sees the same skew but different
+  // hot rows because the permutation mixes the table offset in).
+  row_zipf_ = std::make_unique<ScatteredZipf>(rows_per_table_,
+                                              config.zipf_alpha,
+                                              /*permutation_seed=*/config.seed);
+}
+
+Request RecsysWorkload::next() {
+  // One lookup: pick a sparse feature table uniformly, then a row by
+  // (scattered) zipf popularity.
+  const std::uint64_t table = rng_.next_below(config_.tables);
+  const std::uint64_t row = row_zipf_->sample(rng_);
+  // Per-table scattering: rotate the row by a table-dependent stride so the
+  // hot set differs between tables.
+  const std::uint64_t rotated =
+      (row + table * (rows_per_table_ / (config_.tables + 1))) %
+      rows_per_table_;
+  const std::uint64_t offset =
+      (table * rows_per_table_ + rotated) * config_.vector_size;
+  return {0, offset, config_.vector_size, false};
+}
+
+}  // namespace pipette

@@ -1,0 +1,36 @@
+#include "workload/search.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace pipette {
+
+SearchWorkload::SearchWorkload(const SearchConfig& config)
+    : config_(config), rng_(config.seed) {
+  PIPETTE_ASSERT(config.terms > 0);
+  PIPETTE_ASSERT(config.min_posting > 0 &&
+                 config.min_posting <= config.slot_bytes);
+  files_.push_back(
+      {"index.dat",
+       config.terms * static_cast<std::uint64_t>(config.slot_bytes)});
+  term_zipf_ = std::make_unique<ScatteredZipf>(config.terms,
+                                               config.term_zipf, config.seed);
+}
+
+std::uint32_t SearchWorkload::posting_bytes(std::uint64_t term) const {
+  // Log-uniform between min_posting and slot_bytes, stable per term.
+  const double lo = std::log2(static_cast<double>(config_.min_posting));
+  const double hi = std::log2(static_cast<double>(config_.slot_bytes));
+  const double u =
+      static_cast<double>(mix64(config_.seed ^ ~term) >> 11) * 0x1.0p-53;
+  const double bytes = std::exp2(lo + u * (hi - lo));
+  return static_cast<std::uint32_t>(bytes);
+}
+
+Request SearchWorkload::next() {
+  const std::uint64_t term = term_zipf_->sample(rng_);
+  return {0, term * config_.slot_bytes, posting_bytes(term), false};
+}
+
+}  // namespace pipette

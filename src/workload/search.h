@@ -1,0 +1,43 @@
+// Search-engine workload (extension): modelled on WiSER [He et al.,
+// FAST'20], the flash-optimized search engine the paper's introduction
+// cites as a fine-grained-read-dominated application. Queries fetch
+// posting lists from an inverted index on the SSD: term popularity is
+// zipfian (query logs), list length varies per term (log-uniform between
+// min and max), and each term owns a fixed slot so offsets are O(1).
+#pragma once
+
+#include <memory>
+
+#include "common/rng.h"
+#include "common/zipf.h"
+#include "workload/workload.h"
+
+namespace pipette {
+
+struct SearchConfig {
+  std::uint64_t terms = 1u << 20;
+  std::uint32_t slot_bytes = 512;     // region reserved per term
+  std::uint32_t min_posting = 16;     // shortest posting list (bytes)
+  double term_zipf = 0.9;             // query-log skew
+  std::uint64_t seed = 42;
+};
+
+class SearchWorkload : public Workload {
+ public:
+  explicit SearchWorkload(const SearchConfig& config);
+
+  const std::vector<FileSpec>& files() const override { return files_; }
+  Request next() override;
+  std::string name() const override { return "search-engine"; }
+
+  /// Posting-list length of a term (deterministic; exposed for tests).
+  std::uint32_t posting_bytes(std::uint64_t term) const;
+
+ private:
+  SearchConfig config_;
+  std::vector<FileSpec> files_;
+  Rng rng_;
+  std::unique_ptr<ScatteredZipf> term_zipf_;
+};
+
+}  // namespace pipette

@@ -1,0 +1,106 @@
+#include "workload/synthetic.h"
+
+#include <cstdio>
+
+#include "common/assert.h"
+#include "ssd/types.h"
+
+namespace pipette {
+
+SyntheticConfig table1_workload(char which, Distribution dist,
+                                std::uint64_t seed) {
+  SyntheticConfig c;
+  c.dist = dist;
+  c.seed = seed;
+  switch (which) {
+    case 'A':
+      c.small_ratio = 0.0;
+      break;
+    case 'B':
+      c.small_ratio = 0.1;
+      break;
+    case 'C':
+      c.small_ratio = 0.5;
+      break;
+    case 'D':
+      c.small_ratio = 0.9;
+      break;
+    case 'E':
+      c.small_ratio = 1.0;
+      break;
+    default:
+      PIPETTE_ASSERT_MSG(false, "workload must be one of A..E");
+  }
+  return c;
+}
+
+SyntheticWorkload::SyntheticWorkload(const SyntheticConfig& config)
+    : config_(config), rng_(config.seed) {
+  PIPETTE_ASSERT(config.small_ratio >= 0.0 && config.small_ratio <= 1.0);
+  PIPETTE_ASSERT(config.small_size > 0 && config.large_size > 0);
+  files_.push_back({"synthetic.dat", config.file_size});
+  small_slots_ = config.file_size / config.small_size;
+  large_slots_ = config.file_size / config.large_size;
+  PIPETTE_ASSERT(small_slots_ > 0 && large_slots_ > 0);
+  if (config.dist == Distribution::kZipf) {
+    small_zipf_ =
+        std::make_unique<ZipfGenerator>(small_slots_, config.zipf_alpha);
+    large_zipf_ =
+        std::make_unique<ZipfGenerator>(large_slots_, config.zipf_alpha);
+  }
+}
+
+Request SyntheticWorkload::next() {
+  const bool small = rng_.next_bool(config_.small_ratio);
+  const std::uint32_t size = small ? config_.small_size : config_.large_size;
+  std::uint64_t slot;
+  if (config_.dist == Distribution::kUniform) {
+    slot = rng_.next_below(small ? small_slots_ : large_slots_);
+  } else {
+    // Rank == slot: the hot head is clustered at the start of the file.
+    slot = small ? small_zipf_->sample(rng_) : large_zipf_->sample(rng_);
+  }
+  return {0, slot * size, size, false};
+}
+
+std::string SyntheticWorkload::name() const {
+  const char* dist =
+      config_.dist == Distribution::kUniform ? "uniform" : "zipf";
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "synthetic(small=%.0f%%,%s)",
+                config_.small_ratio * 100.0, dist);
+  return buf;
+}
+
+SizeSweepWorkload::SizeSweepWorkload(std::uint64_t file_size,
+                                     std::uint32_t read_size,
+                                     std::uint64_t seed)
+    : read_size_(read_size), rng_(seed), seed_(seed) {
+  PIPETTE_ASSERT(read_size >= 1 && read_size <= 4096);
+  PIPETTE_ASSERT(file_size >= 3 * kBlockSize);
+  files_.push_back({"sweep.dat", file_size});
+  // One record per page; the last page is excluded so a record that spans
+  // into the following page stays inside the file.
+  slots_ = file_size / kBlockSize - 1;
+}
+
+std::uint64_t SizeSweepWorkload::slot_offset(std::uint64_t slot) const {
+  PIPETTE_ASSERT(slot < slots_);
+  // Stable, 8-byte aligned, never page-aligned: reads of any size at this
+  // offset take the fine-grained path (page-aligned 4 KiB would be routed
+  // to the block interface).
+  const std::uint64_t sub = 8 * (1 + mix64(seed_ ^ slot) % 511);
+  return slot * kBlockSize + sub;
+}
+
+Request SizeSweepWorkload::next() {
+  return {0, slot_offset(rng_.next_below(slots_)), read_size_, false};
+}
+
+std::string SizeSweepWorkload::name() const {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "sweep(%uB)", read_size_);
+  return buf;
+}
+
+}  // namespace pipette

@@ -1,0 +1,84 @@
+// Synthetic workloads of the paper's Table 1: five mixes (A..E) of large
+// (4096 B, page-aligned) and small (128 B) reads over one file, with file
+// offsets drawn uniformly at random or from a zipfian distribution
+// (alpha = 0.8).
+//
+// Zipfian offsets follow the paper's construction: rank r maps to slot r,
+// so the popular head of the distribution is spatially clustered at the
+// start of the file — this is what gives the traditional read path its
+// spatial-locality advantage under zipf ("workloads with zipfian
+// distribution preserve certain levels of spatial locality", §4.2).
+#pragma once
+
+#include <memory>
+
+#include "common/rng.h"
+#include "common/zipf.h"
+#include "workload/workload.h"
+
+namespace pipette {
+
+enum class Distribution { kUniform, kZipf };
+
+struct SyntheticConfig {
+  std::uint64_t file_size = 256ull * 1024 * 1024;
+  double small_ratio = 1.0;  // fraction of requests that are small
+  std::uint32_t small_size = 128;
+  std::uint32_t large_size = 4096;
+  Distribution dist = Distribution::kUniform;
+  double zipf_alpha = 0.8;
+  std::uint64_t seed = 42;
+};
+
+/// Table 1's named mixes: A=100/0 large/small ... E=0/100.
+SyntheticConfig table1_workload(char which, Distribution dist,
+                                std::uint64_t seed = 42);
+
+class SyntheticWorkload : public Workload {
+ public:
+  explicit SyntheticWorkload(const SyntheticConfig& config);
+
+  const std::vector<FileSpec>& files() const override { return files_; }
+  Request next() override;
+  std::string name() const override;
+
+  const SyntheticConfig& config() const { return config_; }
+
+ private:
+  SyntheticConfig config_;
+  std::vector<FileSpec> files_;
+  Rng rng_;
+  std::uint64_t small_slots_;
+  std::uint64_t large_slots_;
+  std::unique_ptr<ZipfGenerator> small_zipf_;
+  std::unique_ptr<ZipfGenerator> large_zipf_;
+};
+
+/// The request generator behind the paper's Fig. 8 latency sweep: workload
+/// E (pure fine-grained reads, uniform random) at a fixed request size.
+/// Offsets are drawn uniformly over one record per 4 KiB page; each record
+/// sits at a per-page pseudo-random, non-page-aligned position that is
+/// stable across draws, so the access population (and thus cache reuse) is
+/// identical for every request size — only the size varies, as in the
+/// figure.
+class SizeSweepWorkload : public Workload {
+ public:
+  SizeSweepWorkload(std::uint64_t file_size, std::uint32_t read_size,
+                    std::uint64_t seed = 42);
+
+  const std::vector<FileSpec>& files() const override { return files_; }
+  Request next() override;
+  std::string name() const override;
+
+  /// The stable byte offset of slot `slot` (exposed for tests).
+  std::uint64_t slot_offset(std::uint64_t slot) const;
+
+ private:
+  std::vector<FileSpec> files_;
+  std::uint32_t read_size_;
+  Rng rng_;
+  std::uint64_t slots_;
+  std::uint64_t seed_;
+};
+
+}  // namespace pipette

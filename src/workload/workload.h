@@ -1,0 +1,43 @@
+// Workload abstraction: a deterministic stream of file requests plus the
+// set of files it operates on. Implementations: SyntheticWorkload (paper
+// Table 1), RecsysWorkload (DLRM-style embedding lookups), LinkBenchWorkload
+// (social-graph object store).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pipette {
+
+struct FileSpec {
+  std::string name;
+  std::uint64_t size = 0;
+  /// Cap on extent length (0 = contiguous); models on-disk fragmentation.
+  std::uint64_t max_extent_blocks = 0;
+  /// Unallocated blocks between extents (physical discontiguity; only
+  /// meaningful with max_extent_blocks > 0).
+  std::uint64_t gap_blocks = 0;
+};
+
+struct Request {
+  std::uint32_t file_index = 0;  // into files()
+  std::uint64_t offset = 0;
+  std::uint32_t len = 0;
+  bool is_write = false;
+};
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual const std::vector<FileSpec>& files() const = 0;
+
+  /// Produce the next request. Implementations own their RNG so the stream
+  /// is a pure function of the workload seed.
+  virtual Request next() = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace pipette

@@ -1,0 +1,116 @@
+// Public-API surface tests: the flows the examples and external users rely
+// on, kept deliberately close to the README/quickstart code so API breaks
+// surface here first.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/experiment.h"
+#include "workload/linkbench.h"
+#include "workload/recsys.h"
+#include "workload/search.h"
+#include "workload/synthetic.h"
+
+namespace pipette {
+namespace {
+
+TEST(ApiSurface, QuickstartFlow) {
+  // Mirrors examples/quickstart.cpp.
+  MachineConfig config = default_machine(PathKind::kPipette);
+  config.ssd.geometry.blocks_per_plane = 64;
+  const std::vector<FileSpec> files = {{"objects.db", 32ull * kMiB}};
+  Machine machine(config, files);
+  const int fd =
+      machine.vfs().open("objects.db", kOpenRead | kOpenFineGrained);
+  std::vector<std::uint8_t> vec(128);
+  const SimDuration first =
+      machine.vfs().pread(fd, 4096 * 10 + 256, {vec.data(), vec.size()});
+  machine.vfs().pread(fd, 4096 * 10 + 256, {vec.data(), vec.size()});
+  const SimDuration third =
+      machine.vfs().pread(fd, 4096 * 10 + 256, {vec.data(), vec.size()});
+  EXPECT_GT(first, 10 * kUs);  // cold: flash
+  EXPECT_LT(third, 3 * kUs);   // warm: FGRC
+  machine.vfs().close(fd);
+}
+
+TEST(ApiSurface, EveryWorkloadDrivesEveryPathBriefly) {
+  MachineConfig base = default_machine(PathKind::kPipette);
+  base.ssd.geometry.blocks_per_plane = 64;
+
+  auto drive = [&](Workload& w, PathKind kind) {
+    MachineConfig config = base;
+    config.kind = kind;
+    Machine machine(config, w.files());
+    std::vector<int> fds;
+    for (const FileSpec& f : w.files())
+      fds.push_back(machine.vfs().open(f.name, machine.open_flags(true)));
+    std::vector<std::uint8_t> buf(64 * 1024);
+    for (int i = 0; i < 200; ++i) {
+      const Request r = w.next();
+      ASSERT_LE(r.len, buf.size());
+      if (r.is_write) {
+        machine.vfs().pwrite(fds[r.file_index], r.offset,
+                             {buf.data(), r.len});
+      } else {
+        machine.vfs().pread(fds[r.file_index], r.offset,
+                            {buf.data(), r.len});
+      }
+    }
+    EXPECT_GT(machine.sim().now(), 0u);
+  };
+
+  for (PathKind kind : kAllPaths) {
+    SyntheticConfig sc = table1_workload('C', Distribution::kZipf);
+    sc.file_size = 16 * kMiB;
+    SyntheticWorkload synth(sc);
+    drive(synth, kind);
+
+    RecsysConfig rc;
+    rc.total_bytes = 16 * kMiB;
+    RecsysWorkload recsys(rc);
+    drive(recsys, kind);
+
+    LinkBenchConfig lc;
+    lc.node_count = 1 << 14;
+    LinkBenchWorkload graph(lc);
+    drive(graph, kind);
+
+    SearchConfig sec;
+    sec.terms = 1 << 14;
+    SearchWorkload search(sec);
+    drive(search, kind);
+  }
+}
+
+TEST(ApiSurface, RunExperimentOverCustomMachine) {
+  // Mirrors the bench harness: custom machine config + run_experiment.
+  MachineConfig config = default_machine(PathKind::kPipette);
+  config.ssd.geometry.blocks_per_plane = 64;
+  config.page_cache_bytes = 8 * kMiB;
+  config.ssd.hmb.data_bytes = 8 * kMiB;
+  SyntheticConfig sc = table1_workload('E', Distribution::kZipf);
+  sc.file_size = 16 * kMiB;
+  SyntheticWorkload w(sc);
+  const RunResult r = run_experiment(config, w, {5000, 5000});
+  EXPECT_EQ(r.path_name, "Pipette");
+  EXPECT_GT(r.requests_per_sec(), 0.0);
+  EXPECT_GT(r.fgrc_hit_ratio, 0.0);
+}
+
+TEST(ApiSurface, FineWriteOptInFlow) {
+  // Mirrors examples/social_graph.cpp with the extension enabled.
+  MachineConfig config = default_machine(PathKind::kPipette);
+  config.ssd.geometry.blocks_per_plane = 64;
+  config.pipette.fine_writes = true;
+  Machine machine(config, {{{"db", 16ull * kMiB}}});
+  const int fd = machine.vfs().open("db", machine.open_flags(true));
+  std::vector<std::uint8_t> rec(88, 0x42);
+  machine.vfs().pwrite(fd, 1280, {rec.data(), rec.size()});
+  std::vector<std::uint8_t> out(88);
+  machine.vfs().pread(fd, 1280, {out.data(), out.size()});
+  EXPECT_EQ(out, rec);
+  EXPECT_EQ(machine.pipette_path()->pipette_stats().fine_writes, 1u);
+}
+
+}  // namespace
+}  // namespace pipette

@@ -1,0 +1,394 @@
+// Unit and property tests for src/common: RNG, zipf sampling, statistics,
+// pattern bytes, LRU map, and the table printer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/lru.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "common/zipf.h"
+
+namespace pipette {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowIsInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowIsRoughlyUniform) {
+  Rng rng(99);
+  constexpr int kBuckets = 16;
+  constexpr int kDraws = 160000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.next_below(kBuckets)];
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  for (int c : counts) EXPECT_NEAR(c, expected, expected * 0.05);
+}
+
+TEST(Rng, NextInInclusiveBounds) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.next_in(10, 13);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 13u);
+    saw_lo |= (v == 10);
+    saw_hi |= (v == 13);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.next_bool(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Mix64, IsStatelessAndStable) {
+  EXPECT_EQ(mix64(42), mix64(42));
+  EXPECT_NE(mix64(42), mix64(43));
+}
+
+// --- Zipf ---
+
+// The empirical head mass of zipf(alpha) must match the analytic mass.
+class ZipfShape : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfShape, HeadMassMatchesAnalytic) {
+  const double alpha = GetParam();
+  const std::uint64_t n = 10000;
+  ZipfGenerator z(n, alpha);
+  Rng rng(17);
+  const int draws = 200000;
+  std::uint64_t head = 0;  // draws landing in the top 100 ranks
+  for (int i = 0; i < draws; ++i) head += (z.sample(rng) < 100);
+
+  double mass_head = 0, mass_all = 0;
+  for (std::uint64_t k = 1; k <= n; ++k) {
+    const double p = std::pow(static_cast<double>(k), -alpha);
+    mass_all += p;
+    if (k <= 100) mass_head += p;
+  }
+  const double expected = mass_head / mass_all;
+  EXPECT_NEAR(static_cast<double>(head) / draws, expected, 0.015)
+      << "alpha=" << alpha;
+}
+
+TEST_P(ZipfShape, SamplesInRange) {
+  const double alpha = GetParam();
+  ZipfGenerator z(1000, alpha);
+  Rng rng(3);
+  for (int i = 0; i < 20000; ++i) EXPECT_LT(z.sample(rng), 1000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, ZipfShape,
+                         ::testing::Values(0.5, 0.8, 0.99, 1.0, 1.2));
+
+TEST(Zipf, RankZeroIsMostPopular) {
+  ZipfGenerator z(1000, 0.8);
+  Rng rng(23);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 100000; ++i) ++counts[z.sample(rng)];
+  // Rank 0 strictly dominates rank 100.
+  EXPECT_GT(counts[0], counts.count(100) ? counts[100] * 2 : 0);
+}
+
+TEST(Zipf, SingleElementPopulation) {
+  ZipfGenerator z(1, 0.8);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(z.sample(rng), 0u);
+}
+
+TEST(ScatteredZipf, PermutationIsBijective) {
+  for (std::uint64_t n : {1ULL, 2ULL, 7ULL, 100ULL, 1000ULL, 4097ULL}) {
+    ScatteredZipf z(n, 0.8, 99);
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const auto p = z.permute(i);
+      EXPECT_LT(p, n);
+      EXPECT_TRUE(seen.insert(p).second) << "collision at rank " << i;
+    }
+  }
+}
+
+TEST(ScatteredZipf, HotKeysAreScattered) {
+  // The 10 hottest ranks should not map to 10 adjacent keys.
+  ScatteredZipf z(100000, 0.8, 7);
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t r = 0; r < 10; ++r) keys.push_back(z.permute(r));
+  std::sort(keys.begin(), keys.end());
+  EXPECT_GT(keys.back() - keys.front(), 1000u);
+}
+
+// --- Stats ---
+
+TEST(OnlineStats, MeanVarianceMinMax) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RatioCounter, Basics) {
+  RatioCounter r;
+  EXPECT_EQ(r.ratio(), 0.0);
+  r.record(true);
+  r.record(false);
+  r.record(true);
+  r.record(true);
+  EXPECT_EQ(r.hits(), 3u);
+  EXPECT_EQ(r.misses(), 1u);
+  EXPECT_DOUBLE_EQ(r.ratio(), 0.75);
+  r.reset();
+  EXPECT_EQ(r.accesses(), 0u);
+}
+
+TEST(LatencyHistogram, ExactSmallValues) {
+  LatencyHistogram h;
+  h.record(3);
+  h.record(3);
+  h.record(5);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.min(), 3u);
+  EXPECT_EQ(h.max(), 5u);
+  EXPECT_NEAR(h.mean_ns(), 11.0 / 3.0, 1e-9);
+  EXPECT_EQ(h.percentile(50), 3u);
+}
+
+TEST(LatencyHistogram, PercentileWithinBucketError) {
+  LatencyHistogram h;
+  for (SimDuration v = 1; v <= 100000; ++v) h.record(v);
+  // Log-bucketed: <= ~6.25% relative value error at this resolution.
+  EXPECT_NEAR(static_cast<double>(h.percentile(50)), 50000.0, 50000.0 * 0.07);
+  EXPECT_NEAR(static_cast<double>(h.percentile(99)), 99000.0, 99000.0 * 0.07);
+  EXPECT_EQ(h.max(), 100000u);
+}
+
+TEST(LatencyHistogram, MergeAddsCounts) {
+  LatencyHistogram a, b;
+  a.record(10);
+  b.record(1000);
+  b.record(2000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 2000u);
+}
+
+TEST(LatencyHistogram, ZeroAndHugeValues) {
+  LatencyHistogram h;
+  h.record(0);
+  h.record(3600ull * kSec);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_GE(h.percentile(100), 3000ull * kSec);
+}
+
+// --- Pattern bytes ---
+
+TEST(PatternBytes, DeterministicAndKeyed) {
+  EXPECT_EQ(pattern_byte(1, 0), pattern_byte(1, 0));
+  int diff = 0;
+  for (int i = 0; i < 64; ++i)
+    diff += pattern_byte(1, i) != pattern_byte(2, i);
+  EXPECT_GT(diff, 48);  // different keys give mostly different bytes
+}
+
+TEST(PatternBytes, FillMatchesByteAtEveryAlignment) {
+  for (std::uint64_t start : {0ULL, 1ULL, 3ULL, 7ULL, 8ULL, 13ULL}) {
+    std::vector<std::uint8_t> buf(67);
+    fill_pattern({buf.data(), buf.size()}, 9, start);
+    for (std::size_t i = 0; i < buf.size(); ++i)
+      ASSERT_EQ(buf[i], pattern_byte(9, start + i)) << start << "+" << i;
+  }
+}
+
+TEST(PatternBytes, CheckPatternDetectsCorruption) {
+  std::vector<std::uint8_t> buf(64);
+  fill_pattern({buf.data(), buf.size()}, 4, 100);
+  EXPECT_TRUE(check_pattern({buf.data(), buf.size()}, 4, 100));
+  buf[17] ^= 0xff;
+  EXPECT_FALSE(check_pattern({buf.data(), buf.size()}, 4, 100));
+}
+
+// --- LruMap ---
+
+TEST(LruMap, InsertFindEvictOrder) {
+  LruMap<int, int> m(2);
+  EXPECT_FALSE(m.insert(1, 10).has_value());
+  EXPECT_FALSE(m.insert(2, 20).has_value());
+  ASSERT_NE(m.find(1), nullptr);  // promotes 1; LRU is now 2
+  auto evicted = m.insert(3, 30);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->first, 2);
+  EXPECT_EQ(evicted->second, 20);
+  EXPECT_EQ(m.find(2), nullptr);
+  EXPECT_NE(m.find(1), nullptr);
+}
+
+TEST(LruMap, InsertExistingOverwritesWithoutEviction) {
+  LruMap<int, int> m(2);
+  m.insert(1, 10);
+  m.insert(2, 20);
+  EXPECT_FALSE(m.insert(1, 11).has_value());
+  EXPECT_EQ(*m.find(1), 11);
+  EXPECT_EQ(m.size(), 2u);
+}
+
+TEST(LruMap, PeekDoesNotPromote) {
+  LruMap<int, int> m(2);
+  m.insert(1, 10);
+  m.insert(2, 20);
+  EXPECT_EQ(*m.peek(1), 10);  // no promotion: 1 stays LRU
+  auto evicted = m.insert(3, 30);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->first, 1);
+}
+
+TEST(LruMap, EraseAndLruAccessor) {
+  LruMap<int, int> m(3);
+  m.insert(1, 10);
+  m.insert(2, 20);
+  EXPECT_EQ(m.lru()->first, 1);
+  EXPECT_TRUE(m.erase(1));
+  EXPECT_FALSE(m.erase(1));
+  EXPECT_EQ(m.lru()->first, 2);
+}
+
+TEST(LruMap, SetCapacityEvictsInOrder) {
+  LruMap<int, int> m(4);
+  for (int i = 1; i <= 4; ++i) m.insert(i, i);
+  std::vector<int> evicted;
+  m.set_capacity(2, [&](int k, int) { evicted.push_back(k); });
+  EXPECT_EQ(evicted, (std::vector<int>{1, 2}));
+  EXPECT_EQ(m.size(), 2u);
+}
+
+// --- Table ---
+
+TEST(Table, TextAlignmentAndCsv) {
+  Table t({"Workload", "A", "B"});
+  t.add_row({"Block I/O", "1.0", "1.0"});
+  t.add_row({"Pipette", Table::fmt(31.25, 1), Table::fmt_times(1.5)});
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("Workload"), std::string::npos);
+  EXPECT_NE(text.find("31.2"), std::string::npos);
+  EXPECT_NE(text.find("1.50x"), std::string::npos);
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("Pipette,31.2,1.50x"), std::string::npos);
+}
+
+TEST(Table, CsvQuoting) {
+  Table t({"name", "value"});
+  t.add_row({"a,b", "say \"hi\""});
+  EXPECT_NE(t.to_csv().find("\"a,b\",\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(LatencyHistogram, PercentilesAreMonotonic) {
+  LatencyHistogram h;
+  Rng rng(21);
+  for (int i = 0; i < 50000; ++i) h.record(rng.next_below(1u << 20));
+  SimDuration prev = 0;
+  for (double p : {0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9, 100.0}) {
+    const SimDuration v = h.percentile(p);
+    EXPECT_GE(v, prev) << "p" << p;
+    prev = v;
+  }
+  EXPECT_LE(h.percentile(100), h.max());
+}
+
+TEST(LatencyHistogram, SingleValueAllPercentilesEqual) {
+  LatencyHistogram h;
+  h.record(12345);
+  const SimDuration p50 = h.percentile(50);
+  EXPECT_EQ(h.percentile(1), p50);
+  EXPECT_EQ(h.percentile(99), p50);
+  // Log-bucketed: within one sub-bucket (~6.25%) of the true value.
+  EXPECT_NEAR(static_cast<double>(p50), 12345.0, 12345.0 * 0.07);
+}
+
+TEST(Zipf, LowerAlphaIsFlatter) {
+  const std::uint64_t n = 100000;
+  Rng r1(5), r2(5);
+  ZipfGenerator flat(n, 0.5), steep(n, 1.2);
+  std::uint64_t flat_head = 0, steep_head = 0;
+  for (int i = 0; i < 50000; ++i) {
+    flat_head += flat.sample(r1) < 100;
+    steep_head += steep.sample(r2) < 100;
+  }
+  EXPECT_LT(flat_head * 2, steep_head);
+}
+
+TEST(BenchArgs, ParsesAllFlags) {
+  const char* argv[] = {"prog",   "--requests", "12345", "--seed",
+                        "9",      "--quick",    "--csv", "/tmp/x.csv"};
+  const BenchArgs args =
+      BenchArgs::parse(8, const_cast<char**>(argv));
+  EXPECT_EQ(args.requests, 12345u);
+  EXPECT_EQ(args.seed, 9u);
+  EXPECT_TRUE(args.quick);
+  EXPECT_EQ(args.csv_path, "/tmp/x.csv");
+}
+
+TEST(BenchArgs, DefaultsWhenBare) {
+  const char* argv[] = {"prog"};
+  const BenchArgs args = BenchArgs::parse(1, const_cast<char**>(argv));
+  EXPECT_EQ(args.requests, 0u);
+  EXPECT_EQ(args.seed, 42u);
+  EXPECT_FALSE(args.quick);
+  EXPECT_TRUE(args.csv_path.empty());
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"only"});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_NE(t.to_text().find("only"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pipette

@@ -1,0 +1,110 @@
+// Tests for the discrete-event simulation core: ordering, determinism,
+// clock semantics, and condition-driven execution.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "des/simulator.h"
+
+namespace pipette {
+namespace {
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(30, [&] { order.push_back(3); });
+  sim.schedule(10, [&] { order.push_back(1); });
+  sim.schedule(20, [&] { order.push_back(2); });
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30u);
+}
+
+TEST(Simulator, TiesBreakInSubmissionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) sim.schedule(5, [&order, i] { order.push_back(i); });
+  sim.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(10, [&] {
+    ++fired;
+    sim.schedule(10, [&] { ++fired; });
+  });
+  sim.run_all();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), 20u);
+}
+
+TEST(Simulator, AdvanceMovesClockWithoutRunning) {
+  Simulator sim;
+  bool ran = false;
+  sim.schedule(5, [&] { ran = true; });
+  sim.advance(100);
+  EXPECT_EQ(sim.now(), 100u);
+  EXPECT_FALSE(ran);  // advance() skips; run_* executes
+  sim.run_all();
+  EXPECT_TRUE(ran);
+  // The overdue event runs at the current clock, which never goes backward.
+  EXPECT_EQ(sim.now(), 100u);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(10, [&] { ++fired; });
+  sim.schedule(20, [&] { ++fired; });
+  sim.run_until(15);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 15u);
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(Simulator, RunUntilInclusiveOfBoundaryEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(15, [&] { ++fired; });
+  sim.run_until(15);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, RunUntilConditionStopsEarly) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 1; i <= 5; ++i) sim.schedule(static_cast<SimDuration>(i) * 10,
+                                            [&] { ++fired; });
+  EXPECT_TRUE(sim.run_until_condition([&] { return fired == 3; }));
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sim.now(), 30u);
+  EXPECT_EQ(sim.pending_events(), 2u);
+}
+
+TEST(Simulator, RunUntilConditionFalseWhenQueueDrains) {
+  Simulator sim;
+  sim.schedule(1, [] {});
+  EXPECT_FALSE(sim.run_until_condition([] { return false; }));
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, ScheduleAtAbsoluteTime) {
+  Simulator sim;
+  sim.advance(50);
+  SimTime when = 0;
+  sim.schedule_at(70, [&] { when = sim.now(); });
+  sim.run_all();
+  EXPECT_EQ(when, 70u);
+}
+
+TEST(Simulator, CountsExecutedEvents) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule(1, [] {});
+  sim.run_all();
+  EXPECT_EQ(sim.events_executed(), 7u);
+}
+
+}  // namespace
+}  // namespace pipette

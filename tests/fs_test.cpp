@@ -1,0 +1,231 @@
+// Tests for the file system: extent trees, allocation (contiguous and
+// fragmented), LBA extraction, and the VFS open-file table.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fs/vfs.h"
+
+namespace pipette {
+namespace {
+
+// --- ExtentTree ---
+
+TEST(ExtentTree, SingleExtentMapping) {
+  ExtentTree t;
+  t.append({0, 1000, 16});
+  EXPECT_EQ(t.map_block(0), 1000u);
+  EXPECT_EQ(t.map_block(15), 1015u);
+  EXPECT_EQ(t.blocks(), 16u);
+}
+
+TEST(ExtentTree, MultipleExtents) {
+  ExtentTree t;
+  t.append({0, 1000, 4});
+  t.append({4, 2000, 4});
+  t.append({8, 500, 8});
+  EXPECT_EQ(t.map_block(3), 1003u);
+  EXPECT_EQ(t.map_block(4), 2000u);
+  EXPECT_EQ(t.map_block(7), 2003u);
+  EXPECT_EQ(t.map_block(15), 507u);
+}
+
+TEST(ExtentTreeDeathTest, GapAndOutOfOrderRejected) {
+  ExtentTree t;
+  t.append({0, 1000, 4});
+  EXPECT_DEATH(t.append({2, 3000, 4}), "logical order");
+  ExtentTree gap;
+  gap.append({0, 1000, 2});
+  gap.append({10, 2000, 2});  // legal: gap in coverage
+  EXPECT_DEATH(gap.map_block(5), "gap");
+}
+
+TEST(ExtentTree, ExtractWithinOneBlock) {
+  ExtentTree t;
+  t.append({0, 100, 4});
+  std::vector<LbaRange> out;
+  t.extract(1000, 128, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].lba, 100u);
+  EXPECT_EQ(out[0].offset, 1000u);
+  EXPECT_EQ(out[0].len, 128u);
+}
+
+TEST(ExtentTree, ExtractSpanningBlocks) {
+  ExtentTree t;
+  t.append({0, 100, 2});
+  t.append({2, 999, 2});
+  std::vector<LbaRange> out;
+  // 300 bytes starting 100 bytes before the end of block 1: spans into the
+  // second extent's first block.
+  t.extract(2 * kBlockSize - 100, 300, out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].lba, 101u);
+  EXPECT_EQ(out[0].offset, kBlockSize - 100);
+  EXPECT_EQ(out[0].len, 100u);
+  EXPECT_EQ(out[1].lba, 999u);
+  EXPECT_EQ(out[1].offset, 0u);
+  EXPECT_EQ(out[1].len, 200u);
+}
+
+TEST(ExtentTree, ExtractExactlyOneBlock) {
+  ExtentTree t;
+  t.append({0, 50, 4});
+  std::vector<LbaRange> out;
+  t.extract(kBlockSize, kBlockSize, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].lba, 51u);
+  EXPECT_EQ(out[0].offset, 0u);
+  EXPECT_EQ(out[0].len, kBlockSize);
+}
+
+// --- FileSystem ---
+
+TEST(FileSystem, CreateContiguousFile) {
+  FileSystem fs(10000);
+  const FileId id = fs.create("a", 100 * kBlockSize);
+  const Inode& node = fs.inode(id);
+  EXPECT_EQ(node.size, 100u * kBlockSize);
+  EXPECT_EQ(node.extents.extent_count(), 1u);
+  EXPECT_EQ(fs.allocated_blocks(), 100u);
+}
+
+TEST(FileSystem, PartialLastBlockRoundsUp) {
+  FileSystem fs(10000);
+  const FileId id = fs.create("a", kBlockSize + 1);
+  EXPECT_EQ(fs.inode(id).extents.blocks(), 2u);
+}
+
+TEST(FileSystem, FragmentedAllocation) {
+  FileSystem fs(10000);
+  const FileId id = fs.create("frag", 64 * kBlockSize,
+                              /*max_extent_blocks=*/16, /*gap_blocks=*/4);
+  const Inode& node = fs.inode(id);
+  EXPECT_EQ(node.extents.extent_count(), 4u);
+  // Extents are discontiguous on disk.
+  const auto& e = node.extents.extents();
+  EXPECT_EQ(e[1].start_lba, e[0].start_lba + 16 + 4);
+}
+
+TEST(FileSystem, FilesDoNotOverlap) {
+  FileSystem fs(10000);
+  const FileId a = fs.create("a", 10 * kBlockSize);
+  const FileId b = fs.create("b", 10 * kBlockSize);
+  const Lba last_a = fs.inode(a).extents.map_block(9);
+  const Lba first_b = fs.inode(b).extents.map_block(0);
+  EXPECT_LT(last_a, first_b);
+}
+
+TEST(FileSystem, FindByName) {
+  FileSystem fs(1000);
+  const FileId id = fs.create("x", kBlockSize);
+  EXPECT_EQ(fs.find("x"), id);
+  EXPECT_EQ(fs.find("nope"), kInvalidFileId);
+}
+
+TEST(FileSystem, ReservedBlocksNotAllocated) {
+  FileSystem fs(1000, 64);
+  const FileId id = fs.create("a", kBlockSize);
+  EXPECT_GE(fs.inode(id).extents.map_block(0), 64u);
+}
+
+TEST(FileSystem, ExtractLbasHonoursExtents) {
+  FileSystem fs(10000);
+  const FileId id =
+      fs.create("frag", 8 * kBlockSize, /*max_extent_blocks=*/2,
+                /*gap_blocks=*/1);
+  std::vector<LbaRange> out;
+  fs.extract_lbas(id, 0, 8 * kBlockSize, out);
+  ASSERT_EQ(out.size(), 8u);
+  // Blocks 0-1 contiguous, then a jump.
+  EXPECT_EQ(out[1].lba, out[0].lba + 1);
+  EXPECT_EQ(out[2].lba, out[1].lba + 2);  // gap of 1
+}
+
+TEST(FileSystemDeathTest, ReadPastLastBlockAsserts) {
+  FileSystem fs(1000);
+  const FileId id = fs.create("a", 100);  // occupies one whole block
+  std::vector<LbaRange> out;
+  // Within the tail block is fine (page-granular callers do this)...
+  fs.extract_lbas(id, 50, 100, out);
+  EXPECT_EQ(out.size(), 1u);
+  // ...but beyond the block-rounded size is a bug.
+  EXPECT_DEATH(fs.extract_lbas(id, 4000, 200, out), "past end");
+}
+
+// --- Vfs ---
+
+struct NullBackend : IoBackend {
+  SimDuration read(FileId, int, std::uint64_t,
+                   std::span<std::uint8_t>) override {
+    ++reads;
+    return 1;
+  }
+  SimDuration write(FileId, int, std::uint64_t,
+                    std::span<const std::uint8_t>) override {
+    ++writes;
+    return 1;
+  }
+  int reads = 0;
+  int writes = 0;
+};
+
+TEST(Vfs, OpenReadCloseLifecycle) {
+  FileSystem fs(1000);
+  fs.create("f", 10 * kBlockSize);
+  NullBackend backend;
+  Vfs vfs(fs, backend);
+  const int fd = vfs.open("f", kOpenRead | kOpenFineGrained);
+  EXPECT_EQ(vfs.flags_of(fd) & kOpenFineGrained, kOpenFineGrained);
+  EXPECT_EQ(vfs.size_of(fd), 10u * kBlockSize);
+  std::vector<std::uint8_t> buf(128);
+  EXPECT_EQ(vfs.pread(fd, 0, {buf.data(), buf.size()}), 1u);
+  EXPECT_EQ(backend.reads, 1);
+  vfs.close(fd);
+}
+
+TEST(Vfs, FdSlotsAreReused) {
+  FileSystem fs(1000);
+  fs.create("f", kBlockSize);
+  NullBackend backend;
+  Vfs vfs(fs, backend);
+  const int a = vfs.open("f", kOpenRead);
+  vfs.close(a);
+  const int b = vfs.open("f", kOpenRead);
+  EXPECT_EQ(a, b);
+}
+
+TEST(VfsDeathTest, WriteOnReadOnlyFdAsserts) {
+  FileSystem fs(1000);
+  fs.create("f", kBlockSize);
+  NullBackend backend;
+  Vfs vfs(fs, backend);
+  const int fd = vfs.open("f", kOpenRead);
+  std::vector<std::uint8_t> buf(16);
+  EXPECT_DEATH(vfs.pwrite(fd, 0, {buf.data(), buf.size()}), "read-only");
+}
+
+TEST(VfsDeathTest, UseAfterCloseAsserts) {
+  FileSystem fs(1000);
+  fs.create("f", kBlockSize);
+  NullBackend backend;
+  Vfs vfs(fs, backend);
+  const int fd = vfs.open("f", kOpenRead);
+  vfs.close(fd);
+  std::vector<std::uint8_t> buf(16);
+  EXPECT_DEATH(vfs.pread(fd, 0, {buf.data(), buf.size()}), "closed fd");
+}
+
+TEST(Vfs, WritableFdWrites) {
+  FileSystem fs(1000);
+  fs.create("f", kBlockSize);
+  NullBackend backend;
+  Vfs vfs(fs, backend);
+  const int fd = vfs.open("f", kOpenWrite);
+  std::vector<std::uint8_t> buf(16, 1);
+  EXPECT_EQ(vfs.pwrite(fd, 0, {buf.data(), buf.size()}), 1u);
+  EXPECT_EQ(backend.writes, 1);
+}
+
+}  // namespace
+}  // namespace pipette

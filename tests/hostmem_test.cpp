@@ -1,0 +1,176 @@
+// Tests for the host page cache: hit/miss accounting, LRU eviction,
+// read-ahead window planning, dirty-page writeback, and pollution tracking.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "hostmem/page_cache.h"
+
+namespace pipette {
+namespace {
+
+std::vector<std::uint8_t> page_of(std::uint8_t fill) {
+  return std::vector<std::uint8_t>(kBlockSize, fill);
+}
+
+TEST(PageCache, MissThenHit) {
+  PageCache pc(16 * kBlockSize);
+  EXPECT_EQ(pc.lookup({1, 0}), nullptr);
+  pc.insert({1, 0}, page_of(0xAA).data(), /*demand=*/true);
+  CachedPage* p = pc.lookup({1, 0});
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->data[0], 0xAA);
+  EXPECT_EQ(pc.stats().lookups.hits(), 1u);
+  EXPECT_EQ(pc.stats().lookups.misses(), 1u);
+}
+
+TEST(PageCache, CapacityEvictsLru) {
+  PageCache pc(2 * kBlockSize);
+  pc.insert({1, 0}, page_of(1).data(), true);
+  pc.insert({1, 1}, page_of(2).data(), true);
+  ASSERT_NE(pc.lookup({1, 0}), nullptr);       // promote page 0
+  pc.insert({1, 2}, page_of(3).data(), true);  // evicts page 1
+  EXPECT_TRUE(pc.contains({1, 0}));
+  EXPECT_FALSE(pc.contains({1, 1}));
+  EXPECT_EQ(pc.stats().evictions, 1u);
+}
+
+TEST(PageCache, ContainsDoesNotCountAsDemand) {
+  PageCache pc(4 * kBlockSize);
+  pc.insert({1, 0}, page_of(1).data(), true);
+  EXPECT_TRUE(pc.contains({1, 0}));
+  EXPECT_EQ(pc.stats().lookups.accesses(), 0u);
+}
+
+TEST(PageCache, PollutionTracking) {
+  PageCache pc(2 * kBlockSize);
+  pc.insert({1, 0}, page_of(1).data(), /*demand=*/false);  // read-ahead fill
+  pc.insert({1, 1}, page_of(2).data(), false);
+  EXPECT_EQ(pc.stats().readahead_pages, 2u);
+  pc.insert({1, 2}, page_of(3).data(), true);  // evicts the RA page 0
+  EXPECT_EQ(pc.stats().evicted_never_used, 1u);
+}
+
+TEST(PageCache, ReadaheadPagePromotedByDemandHitIsNotPollution) {
+  PageCache pc(2 * kBlockSize);
+  pc.insert({1, 0}, page_of(1).data(), false);
+  ASSERT_NE(pc.lookup({1, 0}), nullptr);  // demand touches it
+  pc.insert({1, 1}, page_of(2).data(), true);
+  pc.insert({1, 2}, page_of(3).data(), true);  // evicts page 0
+  EXPECT_EQ(pc.stats().evicted_never_used, 0u);
+}
+
+TEST(PageCache, InvalidateRemovesPage) {
+  PageCache pc(4 * kBlockSize);
+  pc.insert({2, 7}, page_of(9).data(), true);
+  EXPECT_TRUE(pc.invalidate({2, 7}));
+  EXPECT_FALSE(pc.contains({2, 7}));
+  EXPECT_FALSE(pc.invalidate({2, 7}));
+}
+
+TEST(PageCache, DirtyEvictionTriggersWriteback) {
+  PageCache pc(1 * kBlockSize);
+  std::vector<std::pair<PageKey, std::uint8_t>> written;
+  pc.set_writeback([&](const PageKey& k, const std::uint8_t* d) {
+    written.emplace_back(k, d[0]);
+  });
+  pc.insert({1, 0}, page_of(0x42).data(), true);
+  pc.mark_dirty({1, 0});
+  pc.insert({1, 1}, page_of(0x43).data(), true);  // evicts dirty page 0
+  ASSERT_EQ(written.size(), 1u);
+  EXPECT_EQ(written[0].first, (PageKey{1, 0}));
+  EXPECT_EQ(written[0].second, 0x42);
+}
+
+TEST(PageCache, FlushWritesAllDirtyPages) {
+  PageCache pc(8 * kBlockSize);
+  pc.insert({1, 0}, page_of(1).data(), true);
+  pc.insert({1, 1}, page_of(2).data(), true);
+  pc.mark_dirty({1, 0});
+  pc.mark_dirty({1, 1});
+  int flushed = 0;
+  pc.flush([&](const PageKey&, const std::uint8_t*) { ++flushed; });
+  EXPECT_EQ(flushed, 2);
+  // Second flush: nothing dirty anymore.
+  flushed = 0;
+  pc.flush([&](const PageKey&, const std::uint8_t*) { ++flushed; });
+  EXPECT_EQ(flushed, 0);
+}
+
+TEST(PageCache, DirtyInvalidateWritesBack) {
+  PageCache pc(4 * kBlockSize);
+  int writebacks = 0;
+  pc.set_writeback(
+      [&](const PageKey&, const std::uint8_t*) { ++writebacks; });
+  pc.insert({3, 1}, page_of(5).data(), true);
+  pc.mark_dirty({3, 1});
+  pc.invalidate({3, 1});
+  EXPECT_EQ(writebacks, 1);
+}
+
+TEST(PageCache, SetCapacityShrinkEvicts) {
+  PageCache pc(4 * kBlockSize);
+  for (std::uint64_t i = 0; i < 4; ++i)
+    pc.insert({1, i}, page_of(static_cast<std::uint8_t>(i)).data(), true);
+  pc.set_capacity_pages(2);
+  EXPECT_EQ(pc.resident_pages(), 2u);
+  EXPECT_EQ(pc.stats().evictions, 2u);
+  EXPECT_FALSE(pc.contains({1, 0}));
+  EXPECT_TRUE(pc.contains({1, 3}));
+}
+
+// --- Read-ahead planning ---
+
+TEST(Readahead, RandomMissGetsInitialWindow) {
+  ReadaheadConfig ra{4, 32, true};
+  PageCache pc(64 * kBlockSize, ra);
+  // 1-page demand at a random spot: window 4 => 3 extra pages.
+  EXPECT_EQ(pc.plan_readahead({1, 100}, 1), 3u);
+  // Another random spot: still the initial window.
+  EXPECT_EQ(pc.plan_readahead({1, 5000}, 1), 3u);
+}
+
+TEST(Readahead, SequentialStreamDoublesWindow) {
+  ReadaheadConfig ra{4, 32, true};
+  PageCache pc(64 * kBlockSize, ra);
+  EXPECT_EQ(pc.plan_readahead({1, 10}, 1), 3u);   // window 4, next=14
+  EXPECT_EQ(pc.plan_readahead({1, 14}, 1), 7u);   // window 8, next=22
+  EXPECT_EQ(pc.plan_readahead({1, 22}, 1), 15u);  // window 16
+  EXPECT_EQ(pc.plan_readahead({1, 38}, 1), 31u);  // window 32 (cap)
+  EXPECT_EQ(pc.plan_readahead({1, 70}, 1), 31u);  // stays at cap
+}
+
+TEST(Readahead, RandomJumpResetsWindow) {
+  ReadaheadConfig ra{4, 32, true};
+  PageCache pc(64 * kBlockSize, ra);
+  pc.plan_readahead({1, 10}, 1);
+  pc.plan_readahead({1, 14}, 1);  // ramped to 8
+  EXPECT_EQ(pc.plan_readahead({1, 999}, 1), 3u);  // reset to initial
+}
+
+TEST(Readahead, DisabledReturnsZero) {
+  ReadaheadConfig ra{4, 32, false};
+  PageCache pc(64 * kBlockSize, ra);
+  EXPECT_EQ(pc.plan_readahead({1, 10}, 1), 0u);
+}
+
+TEST(Readahead, LargeDemandSwallowsWindow) {
+  ReadaheadConfig ra{4, 32, true};
+  PageCache pc(64 * kBlockSize, ra);
+  // Demand spans 6 pages > initial window: no extra pages.
+  EXPECT_EQ(pc.plan_readahead({1, 10}, 6), 0u);
+}
+
+TEST(Readahead, StreamsArePerFile) {
+  ReadaheadConfig ra{4, 32, true};
+  PageCache pc(64 * kBlockSize, ra);
+  pc.plan_readahead({1, 10}, 1);
+  // Same page index on another file is not a continuation.
+  EXPECT_EQ(pc.plan_readahead({2, 14}, 1), 3u);
+  // File 1's stream is still intact.
+  EXPECT_EQ(pc.plan_readahead({1, 14}, 1), 7u);
+}
+
+}  // namespace
+}  // namespace pipette

@@ -1,0 +1,173 @@
+// Tests for the NAND flash array model: timing composition, die/channel
+// parallelism, cell-type latencies, and fault injection.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "nand/nand.h"
+
+namespace pipette {
+namespace {
+
+NandGeometry small_geometry() {
+  NandGeometry g;
+  g.channels = 4;
+  g.ways_per_channel = 2;
+  g.planes_per_die = 1;
+  g.blocks_per_plane = 4;
+  g.pages_per_block = 16;
+  return g;
+}
+
+TEST(NandGeometry, DerivedQuantities) {
+  NandGeometry g = small_geometry();
+  EXPECT_EQ(g.dies(), 8u);
+  EXPECT_EQ(g.pages_per_die(), 64u);
+  EXPECT_EQ(g.total_pages(), 512u);
+  EXPECT_EQ(g.capacity_bytes(), 512u * 4096u);
+}
+
+TEST(NandTiming, CellTypeSelectsLatency) {
+  NandTiming t;
+  t.cell = CellType::kSlc;
+  EXPECT_EQ(t.t_read(), t.t_read_slc);
+  t.cell = CellType::kMlc;
+  EXPECT_EQ(t.t_read(), t.t_read_mlc);
+  t.cell = CellType::kTlc;
+  EXPECT_EQ(t.t_read(), t.t_read_tlc);
+  EXPECT_STREQ(to_string(CellType::kTlc), "TLC");
+}
+
+TEST(NandArray, SinglePageReadLatency) {
+  Simulator sim;
+  NandTiming t;
+  t.cell = CellType::kTlc;
+  NandArray nand(sim, small_geometry(), t);
+  SimTime done_at = 0;
+  nand.read_page({0, 0, 0}, [&] { done_at = sim.now(); });
+  sim.run_all();
+  const SimDuration xfer =
+      static_cast<SimDuration>(t.channel_ns_per_byte * 4096);
+  EXPECT_EQ(done_at, t.command_overhead + t.t_read_tlc + xfer);
+  EXPECT_EQ(nand.stats().page_reads, 1u);
+  EXPECT_EQ(nand.stats().bytes_transferred, 4096u);
+}
+
+TEST(NandArray, ReadsOnDifferentChannelsRunInParallel) {
+  Simulator sim;
+  NandTiming t;
+  NandArray nand(sim, small_geometry(), t);
+  std::vector<SimTime> done(2);
+  nand.read_page({0, 0, 0}, [&] { done[0] = sim.now(); });
+  nand.read_page({1, 0, 0}, [&] { done[1] = sim.now(); });
+  sim.run_all();
+  // Full overlap: both complete at the single-read latency.
+  EXPECT_EQ(done[0], done[1]);
+}
+
+TEST(NandArray, ReadsOnSameDieSerialise) {
+  Simulator sim;
+  NandTiming t;
+  NandArray nand(sim, small_geometry(), t);
+  std::vector<SimTime> done(2);
+  nand.read_page({0, 0, 0}, [&] { done[0] = sim.now(); });
+  nand.read_page({0, 0, 1}, [&] { done[1] = sim.now(); });
+  sim.run_all();
+  EXPECT_GE(done[1], done[0] + t.t_read());  // second waits for the die
+}
+
+TEST(NandArray, SameChannelDifferentWaysShareOnlyTheBus) {
+  Simulator sim;
+  NandTiming t;
+  NandArray nand(sim, small_geometry(), t);
+  std::vector<SimTime> done(2);
+  nand.read_page({0, 0, 0}, [&] { done[0] = sim.now(); });
+  nand.read_page({0, 1, 0}, [&] { done[1] = sim.now(); });
+  sim.run_all();
+  const SimDuration xfer =
+      static_cast<SimDuration>(t.channel_ns_per_byte * 4096);
+  // Sensing overlaps; the second page's bus transfer queues behind the
+  // first: exactly one extra transfer time.
+  EXPECT_EQ(done[1], done[0] + xfer);
+}
+
+TEST(NandArray, PartialTransferShortensBusTime) {
+  Simulator sim;
+  NandTiming t;
+  NandArray nand(sim, small_geometry(), t);
+  SimTime full = 0, partial = 0;
+  nand.read_page({0, 0, 0}, [&] { full = sim.now(); });
+  sim.run_all();
+  Simulator sim2;
+  NandArray nand2(sim2, small_geometry(), t);
+  nand2.read_page({0, 0, 0}, [&] { partial = sim2.now(); }, 512);
+  sim2.run_all();
+  EXPECT_LT(partial, full);
+}
+
+TEST(NandArray, ProgramUsesProgramTime) {
+  Simulator sim;
+  NandTiming t;
+  t.cell = CellType::kTlc;
+  NandArray nand(sim, small_geometry(), t);
+  SimTime done_at = 0;
+  nand.program_page({2, 1, 5}, [&] { done_at = sim.now(); });
+  sim.run_all();
+  const SimDuration xfer =
+      static_cast<SimDuration>(t.channel_ns_per_byte * 4096);
+  EXPECT_EQ(done_at, t.command_overhead + xfer + t.t_prog_tlc);
+  EXPECT_EQ(nand.stats().page_programs, 1u);
+}
+
+TEST(NandArray, FaultInjectionAddsRetries) {
+  Simulator sim;
+  NandTiming t;
+  NandFaultModel faults;
+  faults.read_retry_probability = 1.0;  // every read retries
+  faults.max_retries = 1;
+  NandArray nand(sim, small_geometry(), t, faults);
+  SimTime done_at = 0;
+  nand.read_page({0, 0, 0}, [&] { done_at = sim.now(); });
+  sim.run_all();
+  const SimDuration xfer =
+      static_cast<SimDuration>(t.channel_ns_per_byte * 4096);
+  EXPECT_EQ(done_at, t.command_overhead + 2 * t.t_read() + xfer);
+  EXPECT_EQ(nand.stats().read_retries, 1u);
+}
+
+TEST(NandArray, NoFaultsByDefault) {
+  Simulator sim;
+  NandArray nand(sim, small_geometry(), NandTiming{});
+  for (int i = 0; i < 50; ++i)
+    nand.read_page({0, 0, static_cast<std::uint64_t>(i)}, [] {});
+  sim.run_all();
+  EXPECT_EQ(nand.stats().read_retries, 0u);
+}
+
+TEST(NandArray, SlcFasterThanTlc) {
+  NandTiming slc;
+  slc.cell = CellType::kSlc;
+  NandTiming tlc;
+  tlc.cell = CellType::kTlc;
+  Simulator s1, s2;
+  NandArray a(s1, small_geometry(), slc), b(s2, small_geometry(), tlc);
+  SimTime ta = 0, tb = 0;
+  a.read_page({0, 0, 0}, [&] { ta = s1.now(); });
+  b.read_page({0, 0, 0}, [&] { tb = s2.now(); });
+  s1.run_all();
+  s2.run_all();
+  EXPECT_LT(ta, tb);
+}
+
+TEST(NandArray, DieFreeAtTracksBusyness) {
+  Simulator sim;
+  NandTiming t;
+  NandArray nand(sim, small_geometry(), t);
+  EXPECT_EQ(nand.die_free_at({0, 0, 0}), 0u);
+  nand.read_page({0, 0, 0}, [] {});
+  EXPECT_GT(nand.die_free_at({0, 0, 0}), 0u);
+  EXPECT_EQ(nand.die_free_at({1, 0, 0}), 0u);  // other die untouched
+}
+
+}  // namespace
+}  // namespace pipette

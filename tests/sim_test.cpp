@@ -1,0 +1,125 @@
+// Tests for the sim layer: machine assembly/shaping, calibration defaults,
+// the experiment runner's accounting, and CSV output plumbing.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/table.h"
+#include "sim/experiment.h"
+#include "workload/search.h"
+#include "workload/synthetic.h"
+
+namespace pipette {
+namespace {
+
+TEST(MachineConfigDefaults, SyntheticCalibration) {
+  const MachineConfig c = default_machine(PathKind::kPipette);
+  // The paper's device architecture (Fig. 5).
+  EXPECT_EQ(c.ssd.geometry.channels, 8u);
+  EXPECT_EQ(c.ssd.geometry.ways_per_channel, 8u);
+  EXPECT_EQ(c.ssd.nand_timing.cell, CellType::kTlc);
+  // Equal host-cache budgets for a fair synthetic comparison.
+  EXPECT_EQ(c.page_cache_bytes, c.ssd.hmb.data_bytes);
+  // Block interface does not data-cache in controller DRAM.
+  EXPECT_FALSE(c.ssd.block_reads_use_buffer);
+}
+
+TEST(MachineConfigDefaults, RealAppRegime) {
+  const MachineConfig c = realapp_machine(PathKind::kPipette);
+  // Staging region far below the ~1 GiB datasets; FGRC half the page cache.
+  EXPECT_LT(c.ssd.read_buffer_bytes, 128ull * kMiB + 1);
+  EXPECT_LT(c.ssd.hmb.data_bytes, c.page_cache_bytes);
+}
+
+TEST(Machine, ShapingShrinksHmbForNonPipetteKinds) {
+  std::vector<FileSpec> files{{"f", 8 * kMiB}};
+  Machine block(default_machine(PathKind::kBlockIo), files);
+  Machine pipette(default_machine(PathKind::kPipette), files);
+  EXPECT_LT(block.ssd().hmb().data_area().size(),
+            pipette.ssd().hmb().data_area().size());
+}
+
+TEST(Machine, TypedAccessorsMatchKind) {
+  std::vector<FileSpec> files{{"f", 8 * kMiB}};
+  Machine m(default_machine(PathKind::kTwoBDma), files);
+  EXPECT_EQ(m.block_path(), nullptr);
+  EXPECT_EQ(m.pipette_path(), nullptr);
+  ASSERT_NE(m.twob_path(), nullptr);
+  EXPECT_EQ(m.twob_path()->mode(), TwoBMode::kDma);
+  EXPECT_EQ(m.page_cache(), nullptr);  // 2B-SSD has no host cache
+}
+
+TEST(Machine, OpenFlagsAddFineGrainedOnlyForPipette) {
+  std::vector<FileSpec> files{{"f", 8 * kMiB}};
+  Machine block(default_machine(PathKind::kBlockIo), files);
+  Machine pipette(default_machine(PathKind::kPipette), files);
+  EXPECT_EQ(block.open_flags(false) & kOpenFineGrained, 0);
+  EXPECT_EQ(pipette.open_flags(false) & kOpenFineGrained, kOpenFineGrained);
+  EXPECT_EQ(pipette.open_flags(true) & kOpenWrite, kOpenWrite);
+}
+
+TEST(Machine, FilesAreCreatedWithSizes) {
+  std::vector<FileSpec> files{{"a", 3 * kMiB}, {"b", kMiB, 4}};
+  Machine m(default_machine(PathKind::kBlockIo), files);
+  EXPECT_EQ(m.fs().inode(m.fs().find("a")).size, 3 * kMiB);
+  // Fragmented creation honours the extent cap.
+  EXPECT_GT(m.fs().inode(m.fs().find("b")).extents.extent_count(), 1u);
+}
+
+TEST(RunResult, DerivedRates) {
+  RunResult r;
+  r.requests = 1000;
+  r.bytes_requested = 1000 * 1024;
+  r.elapsed = 1 * kSec / 2;  // 0.5 s
+  EXPECT_DOUBLE_EQ(r.requests_per_sec(), 2000.0);
+  EXPECT_NEAR(r.throughput_mib_s(), 2000.0 * 1024 / (1024 * 1024), 1e-9);
+}
+
+TEST(RunExperiment, WarmupExcludedFromMetrics) {
+  SyntheticConfig sc = table1_workload('E', Distribution::kUniform);
+  sc.file_size = 8 * kMiB;
+  SyntheticWorkload w(sc);
+  MachineConfig mc = default_machine(PathKind::kBlockIo);
+  mc.ssd.geometry.blocks_per_plane = 64;
+  const RunResult r = run_experiment(mc, w, {2000, 3000});
+  EXPECT_EQ(r.requests, 2000u);
+  EXPECT_EQ(r.bytes_requested, 2000u * 128u);
+}
+
+TEST(RunExperiment, SearchWorkloadRunsOnPipette) {
+  SearchConfig sc;
+  sc.terms = 1 << 14;
+  SearchWorkload w(sc);
+  MachineConfig mc = default_machine(PathKind::kPipette);
+  const RunResult r = run_experiment(mc, w, {3000, 3000});
+  EXPECT_GT(r.fgrc_hit_ratio, 0.0);
+  EXPECT_GT(r.traffic_bytes, 0u);
+  EXPECT_LT(r.traffic_bytes, r.requests * 4096);  // far below page-granular
+}
+
+TEST(NormalizedThroughput, RelativeToBaseline) {
+  RunResult a, b;
+  a.requests = b.requests = 100;
+  a.elapsed = 1 * kSec;
+  b.elapsed = 2 * kSec;
+  EXPECT_DOUBLE_EQ(normalized_throughput(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(normalized_throughput(a, b), 2.0);
+}
+
+TEST(TableCsv, WriteCsvRoundTrip) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  const std::string path = ::testing::TempDir() + "/pipette_table.csv";
+  ASSERT_TRUE(t.write_csv(path));
+  std::ifstream in(path);
+  std::string header, row;
+  std::getline(in, header);
+  std::getline(in, row);
+  EXPECT_EQ(header, "x,y");
+  EXPECT_EQ(row, "1,2");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace pipette

@@ -1,0 +1,648 @@
+// Tests for the SSD substrate: disk content overlay, FTL mapping, PCIe cost
+// model, HMB/Info Area ring, CMB, and the controller's four command flows
+// including the device-side Fine-Grained Read Engine.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/bytes.h"
+#include "des/simulator.h"
+#include "ssd/controller.h"
+
+namespace pipette {
+namespace {
+
+// --- DiskContent ---
+
+TEST(DiskContent, PristineReadsMatchPattern) {
+  DiskContent d(7);
+  std::vector<std::uint8_t> buf(64);
+  d.read(5, 100, {buf.data(), buf.size()});
+  for (std::size_t i = 0; i < buf.size(); ++i)
+    EXPECT_EQ(buf[i], d.pristine_byte(5, 100 + static_cast<std::uint32_t>(i)));
+}
+
+TEST(DiskContent, DifferentLbasDiffer) {
+  DiskContent d;
+  std::vector<std::uint8_t> a(32), b(32);
+  d.read(1, 0, {a.data(), a.size()});
+  d.read(2, 0, {b.data(), b.size()});
+  EXPECT_NE(a, b);
+}
+
+TEST(DiskContent, WriteOverlayAndReadBack) {
+  DiskContent d;
+  std::vector<std::uint8_t> data{1, 2, 3, 4, 5};
+  d.write(9, 1000, {data.data(), data.size()});
+  std::vector<std::uint8_t> out(7);
+  d.read(9, 999, {out.data(), out.size()});
+  EXPECT_EQ(out[0], d.pristine_byte(9, 999));  // before the write: pristine
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(out[static_cast<size_t>(i) + 1], data[static_cast<size_t>(i)]);
+  EXPECT_EQ(out[6], d.pristine_byte(9, 1005));  // after the write: pristine
+  EXPECT_EQ(d.dirty_blocks(), 1u);
+}
+
+TEST(DiskContent, PartialWritePreservesRestOfBlock) {
+  DiskContent d;
+  std::vector<std::uint8_t> data(16, 0xAB);
+  d.write(3, 0, {data.data(), data.size()});
+  std::vector<std::uint8_t> out(32);
+  d.read(3, 0, {out.data(), out.size()});
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(out[static_cast<size_t>(i)], 0xAB);
+  for (int i = 16; i < 32; ++i)
+    EXPECT_EQ(out[static_cast<size_t>(i)],
+              d.pristine_byte(3, static_cast<std::uint32_t>(i)));
+}
+
+// --- FTL ---
+
+NandGeometry ftl_geometry() {
+  NandGeometry g;
+  g.channels = 4;
+  g.ways_per_channel = 2;
+  g.planes_per_die = 1;
+  g.blocks_per_plane = 8;
+  g.pages_per_block = 16;
+  return g;  // 1024 pages
+}
+
+TEST(Ftl, InitialMappingStripesAcrossChannels) {
+  Ftl ftl(ftl_geometry(), 256);
+  for (Lba lba = 0; lba < 8; ++lba) {
+    const PhysPageAddr a = ftl.lookup(lba);
+    EXPECT_EQ(a.channel, lba % 4);
+    EXPECT_EQ(a.way, (lba / 4) % 2);
+    EXPECT_EQ(a.page, lba / 8);
+  }
+}
+
+TEST(Ftl, MappingIsInjective) {
+  Ftl ftl(ftl_geometry(), 512);
+  std::set<std::tuple<std::uint32_t, std::uint32_t, std::uint64_t>> seen;
+  for (Lba lba = 0; lba < 512; ++lba) {
+    const PhysPageAddr a = ftl.lookup(lba);
+    EXPECT_TRUE(seen.insert({a.channel, a.way, a.page}).second) << lba;
+  }
+}
+
+TEST(Ftl, UpdateRemapsAndInvalidates) {
+  Ftl ftl(ftl_geometry(), 256);
+  const PhysPageAddr before = ftl.lookup(10);
+  const PhysPageAddr after = ftl.update(10);
+  EXPECT_FALSE(before == after);
+  EXPECT_TRUE(ftl.lookup(10) == after);
+  EXPECT_EQ(ftl.stats().invalidated_pages, 1u);
+}
+
+TEST(Ftl, UpdatesSpreadAcrossDies) {
+  Ftl ftl(ftl_geometry(), 256);
+  std::set<std::pair<std::uint32_t, std::uint32_t>> dies;
+  for (int i = 0; i < 8; ++i) {
+    const PhysPageAddr a = ftl.update(static_cast<Lba>(i));
+    dies.insert({a.channel, a.way});
+  }
+  EXPECT_EQ(dies.size(), 8u);  // 8 writes -> all 8 dies
+}
+
+TEST(Ftl, UpdatedPagesStayInjective) {
+  Ftl ftl(ftl_geometry(), 256);
+  for (int round = 0; round < 3; ++round)
+    for (Lba lba = 0; lba < 16; ++lba) ftl.update(lba);
+  std::set<std::tuple<std::uint32_t, std::uint32_t, std::uint64_t>> seen;
+  for (Lba lba = 0; lba < 256; ++lba) {
+    const PhysPageAddr a = ftl.lookup(lba);
+    EXPECT_TRUE(seen.insert({a.channel, a.way, a.page}).second) << lba;
+  }
+}
+
+TEST(Ftl, GcReclaimsInvalidatedBlocks) {
+  Ftl ftl(ftl_geometry(), 256);
+  // Hammer a small set of LBAs until GC must run.
+  for (int round = 0; round < 200 && ftl.stats().gc_collections == 0;
+       ++round) {
+    for (Lba lba = 0; lba < 32; ++lba) ftl.update(lba);
+  }
+  EXPECT_GT(ftl.stats().gc_collections, 0u);
+  EXPECT_GT(ftl.stats().blocks_erased, 0u);
+  // No die ever runs dry.
+  const auto dies = ftl_geometry().dies();
+  for (std::uint32_t d = 0; d < dies; ++d)
+    EXPECT_GE(ftl.free_blocks(d) + 1, 1u);
+  // The mapping survives GC: still injective, lookups still resolve.
+  std::set<std::tuple<std::uint32_t, std::uint32_t, std::uint64_t>> seen;
+  for (Lba lba = 0; lba < 256; ++lba) {
+    const PhysPageAddr a = ftl.lookup(lba);
+    EXPECT_TRUE(seen.insert({a.channel, a.way, a.page}).second) << lba;
+  }
+}
+
+TEST(Ftl, GcMovesAreReportedOnce) {
+  Ftl ftl(ftl_geometry(), 256);
+  std::uint64_t total_moves = 0;
+  for (int round = 0; round < 400; ++round) {
+    for (Lba lba = 0; lba < 16; ++lba) ftl.update(lba);
+    total_moves += ftl.take_gc_moves().size();
+    EXPECT_TRUE(ftl.take_gc_moves().empty());  // drained
+  }
+  EXPECT_EQ(total_moves, ftl.stats().gc_relocated_pages);
+}
+
+TEST(Ftl, WriteAmplificationAtLeastOne) {
+  Ftl ftl(ftl_geometry(), 256);
+  EXPECT_DOUBLE_EQ(ftl.stats().write_amplification(), 1.0);
+  for (int round = 0; round < 400; ++round)
+    for (Lba lba = 0; lba < 16; ++lba) ftl.update(lba);
+  EXPECT_GE(ftl.stats().write_amplification(), 1.0);
+  // Overwriting a tiny working set leaves mostly-invalid victims, so GC
+  // should stay cheap: amplification well under 2.
+  EXPECT_LT(ftl.stats().write_amplification(), 2.0);
+}
+
+TEST(Ftl, SustainedRandomWritesSurvive) {
+  Ftl ftl(ftl_geometry(), 256);
+  Rng rng(3);
+  for (int i = 0; i < 20000; ++i) ftl.update(rng.next_below(256));
+  // Content correctness proxy: every lookup decodes to a valid address.
+  for (Lba lba = 0; lba < 256; ++lba) {
+    const PhysPageAddr a = ftl.lookup(lba);
+    EXPECT_LT(a.channel, ftl_geometry().channels);
+    EXPECT_LT(a.way, ftl_geometry().ways_per_channel);
+    EXPECT_LT(a.page, ftl_geometry().pages_per_die());
+  }
+  EXPECT_GT(ftl.stats().gc_collections, 0u);
+}
+
+// --- PCIe ---
+
+TEST(Pcie, MmioCostLinearInTransactions) {
+  Simulator sim;
+  PcieTiming t;
+  PcieLink link(sim, t);
+  EXPECT_EQ(link.mmio_read_cost(8), t.mmio_read_per_tx);
+  EXPECT_EQ(link.mmio_read_cost(1), t.mmio_read_per_tx);
+  EXPECT_EQ(link.mmio_read_cost(16), 2 * t.mmio_read_per_tx);
+  EXPECT_EQ(link.mmio_read_cost(4096), 512 * t.mmio_read_per_tx);
+}
+
+TEST(Pcie, DmaCostHasOverheadPlusBytes) {
+  Simulator sim;
+  PcieTiming t;
+  PcieLink link(sim, t);
+  EXPECT_EQ(link.dma_cost(0), t.dma_overhead);
+  EXPECT_GT(link.dma_cost(4096), link.dma_cost(128));
+}
+
+TEST(Pcie, DmaTransfersSerialiseOnLink) {
+  Simulator sim;
+  PcieTiming t;
+  PcieLink link(sim, t);
+  std::vector<SimTime> done(2);
+  link.dma(4096, [&] { done[0] = sim.now(); });
+  link.dma(4096, [&] { done[1] = sim.now(); });
+  sim.run_all();
+  EXPECT_EQ(done[0], link.dma_cost(4096));
+  EXPECT_EQ(done[1], 2 * link.dma_cost(4096));
+  EXPECT_EQ(link.dma_bytes(), 8192u);
+}
+
+// --- InfoArea / Hmb ---
+
+TEST(InfoArea, PushConsumeRoundTrip) {
+  InfoArea ring(4);
+  EXPECT_TRUE(ring.empty());
+  const auto idx = ring.push({100, 5, 64, 128});
+  EXPECT_EQ(idx, 0u);
+  EXPECT_EQ(ring.in_flight(), 1u);
+  const InfoRecord& rec = ring.at(idx);
+  EXPECT_EQ(rec.dest, 100u);
+  EXPECT_EQ(rec.lba, 5u);
+  ring.consume();
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(InfoArea, WrapsAroundCapacity) {
+  InfoArea ring(2);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    const auto idx = ring.push({i, i, 1, 1});
+    EXPECT_EQ(ring.at(idx).dest, i);
+    ring.consume();
+  }
+  EXPECT_EQ(ring.head(), 10u);
+  EXPECT_EQ(ring.tail(), 10u);
+}
+
+TEST(InfoArea, FullDetection) {
+  InfoArea ring(2);
+  ring.push({});
+  EXPECT_FALSE(ring.full());
+  ring.push({});
+  EXPECT_TRUE(ring.full());
+  ring.consume();
+  EXPECT_FALSE(ring.full());
+}
+
+TEST(InfoAreaDeathTest, OverflowAsserts) {
+  InfoArea ring(1);
+  ring.push({});
+  EXPECT_DEATH(ring.push({}), "overflow");
+}
+
+TEST(Hmb, LayoutPartitionsDoNotOverlap) {
+  Hmb::Layout layout;
+  layout.info_slots = 8;
+  layout.tempbuf_bytes = 1024;
+  layout.data_bytes = 4096;
+  Hmb hmb(layout);
+  EXPECT_EQ(hmb.tempbuf_offset(), 8 * sizeof(InfoRecord));
+  EXPECT_EQ(hmb.data_offset(), hmb.tempbuf_offset() + 1024);
+  EXPECT_EQ(hmb.size(), hmb.data_offset() + 4096);
+  EXPECT_EQ(hmb.tempbuf().size(), 1024u);
+  EXPECT_EQ(hmb.data_area().size(), 4096u);
+}
+
+TEST(Hmb, DmaWriteThenRead) {
+  Hmb hmb({8, 256, 1024});
+  std::vector<std::uint8_t> in{9, 8, 7};
+  hmb.dma_write(hmb.data_offset() + 10, {in.data(), in.size()});
+  std::vector<std::uint8_t> out(3);
+  hmb.read(hmb.data_offset() + 10, {out.data(), out.size()});
+  EXPECT_EQ(in, out);
+}
+
+// --- Cmb ---
+
+TEST(Cmb, SlotsRecycleRoundRobin) {
+  Cmb cmb(3);
+  EXPECT_EQ(cmb.claim_slot(), 0u);
+  EXPECT_EQ(cmb.claim_slot(), 1u);
+  EXPECT_EQ(cmb.claim_slot(), 2u);
+  EXPECT_EQ(cmb.claim_slot(), 0u);
+}
+
+TEST(Cmb, FillAndReadBack) {
+  Cmb cmb(2);
+  std::vector<std::uint8_t> page(kBlockSize, 0x5A);
+  cmb.fill(1, {page.data(), page.size()});
+  auto view = cmb.slot(1);
+  EXPECT_EQ(view[0], 0x5A);
+  EXPECT_EQ(view[kBlockSize - 1], 0x5A);
+}
+
+// --- Controller ---
+
+ControllerConfig test_config() {
+  ControllerConfig c;
+  c.geometry.channels = 4;
+  c.geometry.ways_per_channel = 2;
+  c.geometry.planes_per_die = 1;
+  c.geometry.blocks_per_plane = 16;
+  c.geometry.pages_per_block = 64;  // 8192 pages = 32 MiB
+  c.lba_count = 4096;
+  c.read_buffer_bytes = 64 * kBlockSize;
+  c.block_reads_use_buffer = true;  // exercise the buffer from block reads
+  c.hmb.info_slots = 64;
+  c.hmb.tempbuf_bytes = 8192;
+  c.hmb.data_bytes = 1 * kMiB;
+  return c;
+}
+
+struct ControllerFixture : ::testing::Test {
+  Simulator sim;
+  ControllerConfig config = test_config();
+  SsdController ctrl{sim, config};
+
+  CommandResult run(Command cmd) {
+    CommandResult result;
+    bool done = false;
+    ctrl.submit(std::move(cmd), [&](const CommandResult& r) {
+      result = r;
+      done = true;
+    });
+    EXPECT_TRUE(sim.run_until_condition([&] { return done; }));
+    return result;
+  }
+};
+
+TEST_F(ControllerFixture, BlockReadReturnsCorrectBytes) {
+  std::vector<std::uint8_t> buf(2 * kBlockSize);
+  Command cmd;
+  cmd.op = Opcode::kRead;
+  cmd.lba = 10;
+  cmd.nlb = 2;
+  cmd.host_dest = {buf.data(), buf.size()};
+  const CommandResult r = run(std::move(cmd));
+  EXPECT_GT(r.completed_at, 0u);
+  for (std::uint32_t i = 0; i < 2 * kBlockSize; ++i) {
+    const Lba lba = 10 + i / kBlockSize;
+    ASSERT_EQ(buf[i], ctrl.content().pristine_byte(lba, i % kBlockSize));
+  }
+  EXPECT_EQ(ctrl.stats().bytes_to_host, 2u * kBlockSize);
+}
+
+TEST_F(ControllerFixture, BlockReadHitsReadBufferSecondTime) {
+  std::vector<std::uint8_t> buf(kBlockSize);
+  for (int i = 0; i < 2; ++i) {
+    Command cmd;
+    cmd.op = Opcode::kRead;
+    cmd.lba = 5;
+    cmd.host_dest = {buf.data(), buf.size()};
+    run(std::move(cmd));
+  }
+  EXPECT_EQ(ctrl.stats().read_buffer.hits(), 1u);
+  EXPECT_EQ(ctrl.stats().read_buffer.misses(), 1u);
+  EXPECT_EQ(ctrl.nand().stats().page_reads, 1u);
+}
+
+TEST_F(ControllerFixture, ReadBufferHitIsFaster) {
+  std::vector<std::uint8_t> buf(kBlockSize);
+  Command a;
+  a.op = Opcode::kRead;
+  a.lba = 7;
+  a.host_dest = {buf.data(), buf.size()};
+  const SimTime t0 = sim.now();
+  run(std::move(a));
+  const SimDuration miss_latency = sim.now() - t0;
+  Command b;
+  b.op = Opcode::kRead;
+  b.lba = 7;
+  b.host_dest = {buf.data(), buf.size()};
+  const SimTime t1 = sim.now();
+  run(std::move(b));
+  const SimDuration hit_latency = sim.now() - t1;
+  EXPECT_LT(hit_latency * 5, miss_latency);  // no tR on the hit
+}
+
+TEST_F(ControllerFixture, MultiPageReadUsesChannelParallelism) {
+  // 4 consecutive LBAs stripe across the 4 channels: total time should be
+  // far below 4 sequential page reads.
+  std::vector<std::uint8_t> buf(4 * kBlockSize);
+  Command cmd;
+  cmd.op = Opcode::kRead;
+  cmd.lba = 0;
+  cmd.nlb = 4;
+  cmd.host_dest = {buf.data(), buf.size()};
+  const SimTime t0 = sim.now();
+  run(std::move(cmd));
+  const SimDuration elapsed = sim.now() - t0;
+  const SimDuration t_read = config.nand_timing.t_read();
+  EXPECT_LT(elapsed, 2 * t_read);
+  EXPECT_EQ(ctrl.nand().stats().page_reads, 4u);
+}
+
+TEST_F(ControllerFixture, WriteThenReadSeesNewData) {
+  Command w;
+  w.op = Opcode::kWrite;
+  w.lba = 3;
+  w.nlb = 1;
+  w.write_data.assign(kBlockSize, 0xEE);
+  run(std::move(w));
+  EXPECT_EQ(ctrl.stats().block_writes, 1u);
+
+  std::vector<std::uint8_t> buf(kBlockSize);
+  Command r;
+  r.op = Opcode::kRead;
+  r.lba = 3;
+  r.host_dest = {buf.data(), buf.size()};
+  run(std::move(r));
+  for (auto b : buf) ASSERT_EQ(b, 0xEE);
+}
+
+TEST_F(ControllerFixture, FgReadLandsBytesAtHmbDestinations) {
+  // Two ranges in different pages, landing at distinct HMB offsets.
+  auto& info = ctrl.hmb().info();
+  const HmbAddr d0 = ctrl.hmb().data_offset();
+  const HmbAddr d1 = d0 + 128;
+  Command cmd;
+  cmd.op = Opcode::kFgRead;
+  cmd.ranges = {
+      {20, 100, 128, info.push({d0, 20, 100, 128})},
+      {21, 512, 64, info.push({d1, 21, 512, 64})},
+  };
+  run(std::move(cmd));
+
+  std::vector<std::uint8_t> out(128);
+  ctrl.hmb().read(d0, {out.data(), out.size()});
+  for (std::uint32_t i = 0; i < 128; ++i)
+    ASSERT_EQ(out[i], ctrl.content().pristine_byte(20, 100 + i));
+  out.resize(64);
+  ctrl.hmb().read(d1, {out.data(), out.size()});
+  for (std::uint32_t i = 0; i < 64; ++i)
+    ASSERT_EQ(out[i], ctrl.content().pristine_byte(21, 512 + i));
+
+  // The engine consumed both Info Area records.
+  EXPECT_TRUE(info.empty());
+  EXPECT_EQ(ctrl.stats().fg_ranges, 2u);
+  EXPECT_EQ(ctrl.stats().bytes_to_host, 128u + 64u);
+}
+
+TEST_F(ControllerFixture, FgReadLoadsEachDistinctPageOnce) {
+  auto& info = ctrl.hmb().info();
+  const HmbAddr base = ctrl.hmb().data_offset();
+  Command cmd;
+  cmd.op = Opcode::kFgRead;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    const std::uint32_t off = i * 128;
+    cmd.ranges.push_back(
+        {30, off, 128, info.push({base + i * 128, 30, off, 128})});
+  }
+  run(std::move(cmd));
+  EXPECT_EQ(ctrl.nand().stats().page_reads, 1u);  // one page, four ranges
+  EXPECT_EQ(ctrl.stats().bytes_to_host, 512u);
+}
+
+TEST_F(ControllerFixture, FgReadTrafficIsOnlyDemandedBytes) {
+  auto& info = ctrl.hmb().info();
+  Command cmd;
+  cmd.op = Opcode::kFgRead;
+  cmd.ranges = {{40, 0, 8, info.push({ctrl.hmb().data_offset(), 40, 0, 8})}};
+  run(std::move(cmd));
+  EXPECT_EQ(ctrl.stats().bytes_to_host, 8u);
+}
+
+TEST_F(ControllerFixture, ReadToCmbThenMmioPull) {
+  Command cmd;
+  cmd.op = Opcode::kReadToCmb;
+  cmd.lba = 50;
+  const CommandResult r = run(std::move(cmd));
+  std::vector<std::uint8_t> out(96);
+  const SimDuration cost =
+      ctrl.read_from_cmb(r.cmb_slot, 200, {out.data(), out.size()}, false);
+  EXPECT_EQ(cost, ctrl.pcie().mmio_read_cost(96));
+  for (std::uint32_t i = 0; i < 96; ++i)
+    ASSERT_EQ(out[i], ctrl.content().pristine_byte(50, 200 + i));
+}
+
+TEST_F(ControllerFixture, CmbDmaPullPaysMappingCost) {
+  Command cmd;
+  cmd.op = Opcode::kReadToCmb;
+  cmd.lba = 51;
+  const CommandResult r = run(std::move(cmd));
+  std::vector<std::uint8_t> out(128);
+  const SimDuration dma_cost =
+      ctrl.read_from_cmb(r.cmb_slot, 0, {out.data(), out.size()}, true);
+  EXPECT_GE(dma_cost, config.pcie.dma_map_cost);
+}
+
+TEST_F(ControllerFixture, FgWritePatchesOnlyDemandedBytes) {
+  Command cmd;
+  cmd.op = Opcode::kFgWrite;
+  cmd.write_data.assign(64, 0xCD);
+  cmd.ranges = {{70, 100, 64, 0}};
+  run(std::move(cmd));
+  EXPECT_EQ(ctrl.stats().fg_writes, 1u);
+  EXPECT_EQ(ctrl.stats().bytes_from_host, 64u);
+  std::vector<std::uint8_t> out(kBlockSize);
+  ctrl.content().read(70, 0, {out.data(), out.size()});
+  for (std::uint32_t i = 0; i < kBlockSize; ++i) {
+    if (i >= 100 && i < 164) {
+      ASSERT_EQ(out[i], 0xCD);
+    } else {
+      ASSERT_EQ(out[i], ctrl.content().pristine_byte(70, i)) << i;
+    }
+  }
+}
+
+TEST_F(ControllerFixture, FgWriteSpanningTwoPages) {
+  Command cmd;
+  cmd.op = Opcode::kFgWrite;
+  cmd.write_data.assign(200, 0xEF);
+  cmd.ranges = {{80, kBlockSize - 100, 100, 0}, {81, 0, 100, 0}};
+  run(std::move(cmd));
+  std::vector<std::uint8_t> tail(100), head(100);
+  ctrl.content().read(80, kBlockSize - 100, {tail.data(), tail.size()});
+  ctrl.content().read(81, 0, {head.data(), head.size()});
+  for (auto b : tail) ASSERT_EQ(b, 0xEF);
+  for (auto b : head) ASSERT_EQ(b, 0xEF);
+  // Two pages were remapped and programmed.
+  EXPECT_EQ(ctrl.ftl().stats().writes_mapped, 2u);
+  EXPECT_EQ(ctrl.nand().stats().page_programs, 2u);
+}
+
+TEST_F(ControllerFixture, FgWriteThenFgReadRoundTrip) {
+  Command w;
+  w.op = Opcode::kFgWrite;
+  w.write_data.assign(32, 0x42);
+  w.ranges = {{90, 500, 32, 0}};
+  run(std::move(w));
+
+  auto& info = ctrl.hmb().info();
+  Command r;
+  r.op = Opcode::kFgRead;
+  r.ranges = {{90, 500, 32, info.push({ctrl.hmb().data_offset(), 90, 500, 32})}};
+  run(std::move(r));
+  std::vector<std::uint8_t> out(32);
+  ctrl.hmb().read(ctrl.hmb().data_offset(), {out.data(), out.size()});
+  for (auto b : out) ASSERT_EQ(b, 0x42);
+}
+
+TEST_F(ControllerFixture, ConcurrentCommandsAllComplete) {
+  // Sixteen block reads in flight at once: all complete, data correct,
+  // and the array's parallelism keeps total time well under serial.
+  constexpr int kN = 16;
+  std::vector<std::vector<std::uint8_t>> bufs(kN);
+  int completed = 0;
+  for (int i = 0; i < kN; ++i) {
+    bufs[static_cast<size_t>(i)].resize(kBlockSize);
+    Command cmd;
+    cmd.op = Opcode::kRead;
+    cmd.lba = static_cast<Lba>(i * 37 % 512);
+    cmd.host_dest = {bufs[static_cast<size_t>(i)].data(), kBlockSize};
+    ctrl.submit(std::move(cmd),
+                [&completed](const CommandResult&) { ++completed; });
+  }
+  sim.run_all();
+  EXPECT_EQ(completed, kN);
+  const SimDuration serial = kN * config.nand_timing.t_read();
+  EXPECT_LT(sim.now(), serial);
+  for (int i = 0; i < kN; ++i) {
+    const Lba lba = static_cast<Lba>(i * 37 % 512);
+    for (std::uint32_t b = 0; b < kBlockSize; ++b)
+      ASSERT_EQ(bufs[static_cast<size_t>(i)][b],
+                ctrl.content().pristine_byte(lba, b));
+  }
+}
+
+TEST_F(ControllerFixture, InterleavedReadsAndWritesStayCoherent) {
+  // Writes and reads of the same LBA issued back-to-back (the read
+  // submitted after the write) must observe the write's data.
+  Command w;
+  w.op = Opcode::kWrite;
+  w.lba = 100;
+  w.write_data.assign(kBlockSize, 0xA1);
+  bool w_done = false;
+  ctrl.submit(std::move(w), [&](const CommandResult&) { w_done = true; });
+  std::vector<std::uint8_t> buf(kBlockSize);
+  Command r;
+  r.op = Opcode::kRead;
+  r.lba = 100;
+  r.host_dest = {buf.data(), buf.size()};
+  bool r_done = false;
+  ctrl.submit(std::move(r), [&](const CommandResult&) { r_done = true; });
+  sim.run_all();
+  EXPECT_TRUE(w_done && r_done);
+  for (auto b : buf) ASSERT_EQ(b, 0xA1);
+}
+
+TEST_F(ControllerFixture, FgReadsFromManyPagesUseParallelDies) {
+  // 8 ranges on 8 different, channel-striped pages: the sensing overlaps.
+  auto& info = ctrl.hmb().info();
+  Command cmd;
+  cmd.op = Opcode::kFgRead;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    const Lba lba = i;  // striped across the 4 channels x 2 ways
+    cmd.ranges.push_back(
+        {lba, 0, 64,
+         info.push({ctrl.hmb().data_offset() + i * 64, lba, 0, 64})});
+  }
+  const SimTime t0 = sim.now();
+  run(std::move(cmd));
+  EXPECT_LT(sim.now() - t0, 2 * config.nand_timing.t_read());
+  EXPECT_EQ(ctrl.nand().stats().page_reads, 8u);
+}
+
+TEST_F(ControllerFixture, StatsAccumulateAcrossCommandMix) {
+  std::vector<std::uint8_t> buf(kBlockSize);
+  Command r;
+  r.op = Opcode::kRead;
+  r.lba = 1;
+  r.host_dest = {buf.data(), buf.size()};
+  run(std::move(r));
+  Command w;
+  w.op = Opcode::kWrite;
+  w.lba = 1;
+  w.write_data.assign(kBlockSize, 1);
+  run(std::move(w));
+  Command c;
+  c.op = Opcode::kReadToCmb;
+  c.lba = 2;
+  run(std::move(c));
+  EXPECT_EQ(ctrl.stats().commands, 3u);
+  EXPECT_EQ(ctrl.stats().block_reads, 1u);
+  EXPECT_EQ(ctrl.stats().block_writes, 1u);
+  EXPECT_EQ(ctrl.stats().cmb_reads, 1u);
+}
+
+TEST_F(ControllerFixture, WriteInvalidatesDeviceReadBuffer) {
+  std::vector<std::uint8_t> buf(kBlockSize);
+  Command r1;
+  r1.op = Opcode::kRead;
+  r1.lba = 60;
+  r1.host_dest = {buf.data(), buf.size()};
+  run(std::move(r1));  // stages page 60
+  Command w;
+  w.op = Opcode::kWrite;
+  w.lba = 60;
+  w.write_data.assign(kBlockSize, 0x11);
+  run(std::move(w));
+  Command r2;
+  r2.op = Opcode::kRead;
+  r2.lba = 60;
+  r2.host_dest = {buf.data(), buf.size()};
+  run(std::move(r2));
+  for (auto b : buf) ASSERT_EQ(b, 0x11);
+  // Second read re-staged from NAND (buffer was invalidated).
+  EXPECT_EQ(ctrl.stats().read_buffer.misses(), 2u);
+}
+
+}  // namespace
+}  // namespace pipette
