@@ -5,6 +5,8 @@
 // high-reuse (zipf) and a low-reuse (uniform) workload, where any single
 // fixed threshold loses on one of them: threshold 1 pollutes the cache
 // under scans, large thresholds starve it under reuse.
+#include <iterator>
+
 #include "bench_common.h"
 
 int main(int argc, char** argv) {
@@ -26,29 +28,42 @@ int main(int argc, char** argv) {
       {"fixed t=8", false, 8},
   };
 
+  // One independent cell per (variant, distribution): fan them across
+  // --jobs threads; results are bit-identical to the serial loop.
+  std::vector<ExperimentCell> cells;
+  for (const Variant& v : variants) {
+    MachineConfig config = default_machine(PathKind::kPipette);
+    config.pipette.fgrc.adaptive.enabled = v.adaptive;
+    config.pipette.fgrc.adaptive.initial_threshold = v.threshold;
+    config.pipette.fgrc.adaptive.min_threshold = 1;
+    config.pipette.fgrc.adaptive.max_threshold =
+        std::max<std::uint32_t>(v.threshold, 4);
+    for (Distribution dist : {Distribution::kUniform, Distribution::kZipf}) {
+      const std::uint64_t seed = args.seed;
+      cells.push_back({config,
+                       [dist, seed]() -> std::unique_ptr<Workload> {
+                         return std::make_unique<SyntheticWorkload>(
+                             table1_workload('E', dist, seed));
+                       },
+                       scale.run()});
+    }
+  }
+  const std::vector<RunResult> results = run_experiments_parallel(
+      std::move(cells), args.jobs, [&](std::size_t i, const RunResult& r) {
+        std::fprintf(stderr, "  %-18s %-7s done (%.1fs host)\n",
+                     variants[i / 2].name, i % 2 == 0 ? "uniform" : "zipf",
+                     r.host_seconds);
+      });
+
   Table t({"Variant", "uniform E thpt (req/s)", "uniform E FGRC hit %",
            "zipf E thpt (req/s)", "zipf E FGRC hit %"});
-  for (const Variant& v : variants) {
-    auto make_machine = [&](PathKind kind) {
-      MachineConfig config = default_machine(kind);
-      config.pipette.fgrc.adaptive.enabled = v.adaptive;
-      config.pipette.fgrc.adaptive.initial_threshold = v.threshold;
-      config.pipette.fgrc.adaptive.min_threshold = 1;
-      config.pipette.fgrc.adaptive.max_threshold =
-          std::max<std::uint32_t>(v.threshold, 4);
-      return config;
-    };
-    std::vector<std::string> row{v.name};
-    for (Distribution dist : {Distribution::kUniform, Distribution::kZipf}) {
-      SyntheticWorkload w(table1_workload('E', dist, args.seed));
-      const RunResult r = run_experiment(make_machine(PathKind::kPipette), w,
-                                         scale.run());
-      row.push_back(Table::fmt(r.requests_per_sec(), 0));
-      row.push_back(Table::fmt(r.fgrc_hit_ratio * 100.0, 1));
-      std::fprintf(stderr, "  %-18s %-7s done\n", v.name,
-                   dist == Distribution::kUniform ? "uniform" : "zipf");
-    }
-    t.add_row(std::move(row));
+  for (std::size_t v = 0; v < std::size(variants); ++v) {
+    const RunResult& uni = results[2 * v];
+    const RunResult& zipf = results[2 * v + 1];
+    t.add_row({variants[v].name, Table::fmt(uni.requests_per_sec(), 0),
+               Table::fmt(uni.fgrc_hit_ratio * 100.0, 1),
+               Table::fmt(zipf.requests_per_sec(), 0),
+               Table::fmt(zipf.fgrc_hit_ratio * 100.0, 1)});
   }
   emit(t, args);
   return 0;

@@ -2,14 +2,17 @@
 // systems, and table rendering with the paper's reference numbers alongside.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <functional>
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/table.h"
+#include "common/thread_pool.h"
 #include "sim/experiment.h"
 #include "workload/synthetic.h"
 
@@ -53,21 +56,54 @@ inline const char* short_name(PathKind kind) {
 using Column = std::map<PathKind, RunResult>;
 
 /// Run the five systems over the Table 1 synthetic workloads of one
-/// distribution. `make_machine` lets ablations tweak configs per kind.
+/// distribution, fanning the 25 independent cells over `jobs` threads
+/// (0 = hardware concurrency, 1 = serial). Each cell constructs its own
+/// deterministically seeded workload, so the matrix is bit-identical at any
+/// job count. `make_machine` lets ablations tweak configs per kind.
+/// Prints an end-of-matrix summary of host wall-clock vs per-cell CPU time.
 inline std::map<char, Column> run_synthetic_matrix(
     Distribution dist, const Scale& scale, std::uint64_t seed,
+    unsigned jobs = 0,
     const std::function<MachineConfig(PathKind)>& make_machine =
         [](PathKind k) { return default_machine(k); }) {
-  std::map<char, Column> out;
+  std::vector<ExperimentCell> cells;
+  std::vector<std::pair<char, PathKind>> labels;
   for (char wl : {'A', 'B', 'C', 'D', 'E'}) {
     for (PathKind kind : kAllPaths) {
-      SyntheticWorkload workload(table1_workload(wl, dist, seed));
-      out[wl][kind] =
-          run_experiment(make_machine(kind), workload, scale.run());
-      std::fprintf(stderr, "  [%c] %-18s done (%.2f us mean)\n", wl,
-                   short_name(kind), out[wl][kind].mean_latency_us);
+      cells.push_back({make_machine(kind),
+                       [wl, dist, seed]() -> std::unique_ptr<Workload> {
+                         return std::make_unique<SyntheticWorkload>(
+                             table1_workload(wl, dist, seed));
+                       },
+                       scale.run()});
+      labels.emplace_back(wl, kind);
     }
   }
+
+  const auto wall0 = std::chrono::steady_clock::now();
+  const std::vector<RunResult> results = run_experiments_parallel(
+      std::move(cells), jobs,
+      [&labels](std::size_t i, const RunResult& r) {
+        std::fprintf(stderr, "  [%c] %-18s done (%.2f us mean, %.1fs host)\n",
+                     labels[i].first, short_name(labels[i].second),
+                     r.mean_latency_us, r.host_seconds);
+      });
+  const double wall = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - wall0)
+                          .count();
+
+  std::map<char, Column> out;
+  double cell_seconds = 0.0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    out[labels[i].first][labels[i].second] = results[i];
+    cell_seconds += results[i].host_seconds;
+  }
+  std::fprintf(stderr,
+               "  [host] %zu cells in %.1fs wall (%.1fs of cell time, "
+               "jobs=%u -> %.1fx)\n",
+               results.size(), wall, cell_seconds,
+               jobs == 0 ? ThreadPool::default_threads() : jobs,
+               wall > 0.0 ? cell_seconds / wall : 0.0);
   return out;
 }
 

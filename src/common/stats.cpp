@@ -81,6 +81,35 @@ void LatencyHistogram::merge(const LatencyHistogram& other) {
   total_ns_ += other.total_ns_;
 }
 
+LatencyHistogram& LatencyHistogram::operator-=(const LatencyHistogram& other) {
+  PIPETTE_ASSERT_MSG(count_ >= other.count_ && total_ns_ >= other.total_ns_,
+                     "subtrahend is not a prefix snapshot");
+  for (int i = 0; i < kBuckets; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    PIPETTE_ASSERT_MSG(buckets_[idx] >= other.buckets_[idx],
+                       "subtrahend is not a prefix snapshot");
+    buckets_[idx] -= other.buckets_[idx];
+  }
+  count_ -= other.count_;
+  total_ns_ -= other.total_ns_;
+  // Recover representative extremes from the surviving buckets.
+  min_ = max_ = 0;
+  bool seen_any = false;
+  for (int i = 0; count_ > 0 && i < kBuckets; ++i) {
+    if (buckets_[static_cast<std::size_t>(i)] == 0) continue;
+    if (!seen_any) min_ = bucket_value(i);
+    seen_any = true;
+    max_ = bucket_value(i);
+  }
+  return *this;
+}
+
+LatencyHistogram LatencyHistogram::diff(const LatencyHistogram& other) const {
+  LatencyHistogram out = *this;
+  out -= other;
+  return out;
+}
+
 double LatencyHistogram::mean_ns() const {
   return count_ == 0
              ? 0.0

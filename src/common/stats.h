@@ -66,6 +66,18 @@ class LatencyHistogram {
   void record(SimDuration d);
   void merge(const LatencyHistogram& other);
 
+  /// Bucket-wise subtraction of an earlier snapshot of *this* histogram
+  /// (every bucket of `other` must be <= the same bucket here). Used by the
+  /// experiment runner to carve the measured phase out of a full-run
+  /// histogram, so percentiles describe exactly the measured requests.
+  /// min()/max() become representative bucket values (same <1.5% error as
+  /// percentile()) since the exact extremes of the difference are not
+  /// recoverable from buckets.
+  LatencyHistogram& operator-=(const LatencyHistogram& other);
+
+  /// `*this - other` without mutating either operand.
+  LatencyHistogram diff(const LatencyHistogram& other) const;
+
   std::uint64_t count() const { return count_; }
   double mean_ns() const;
   /// Percentile in [0, 100]; returns a representative bucket value (ns).

@@ -113,11 +113,18 @@ BenchArgs BenchArgs::parse(int argc, char** argv) {
       args.requests = std::strtoull(need_value("--requests"), nullptr, 10);
     } else if (std::strcmp(argv[i], "--seed") == 0) {
       args.seed = std::strtoull(need_value("--seed"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--jobs") == 0) {
+      args.jobs = static_cast<unsigned>(
+          std::strtoul(need_value("--jobs"), nullptr, 10));
     } else if (std::strcmp(argv[i], "--quick") == 0) {
       args.quick = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::printf(
-          "usage: %s [--requests N] [--seed S] [--quick] [--csv PATH]\n",
+          "usage: %s [--requests N] [--seed S] [--quick] [--jobs N] "
+          "[--csv PATH]\n"
+          "  --jobs N  run independent experiment cells on N threads\n"
+          "            (0 = hardware concurrency, 1 = serial; results are\n"
+          "            bit-identical at any job count)\n",
           argv[0]);
       std::exit(0);
     } else {

@@ -39,12 +39,15 @@ class Table {
   std::vector<std::vector<std::string>> rows_;
 };
 
-/// Parses the common bench CLI: --csv <path>, --requests N, --quick, --seed S.
+/// Parses the common bench CLI: --csv <path>, --requests N, --quick,
+/// --seed S, --jobs N.
 struct BenchArgs {
   std::string csv_path;         // empty = no CSV
   std::uint64_t requests = 0;   // 0 = bench default
   std::uint64_t seed = 42;
   bool quick = false;           // reduced request count for smoke runs
+  unsigned jobs = 0;            // experiment cells run in parallel;
+                                // 0 = hardware concurrency, 1 = serial
 
   static BenchArgs parse(int argc, char** argv);
 };

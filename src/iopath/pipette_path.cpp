@@ -94,14 +94,15 @@ void PipettePath::fine_read(FileId file, std::uint64_t offset,
   // page-range, each carrying its destination address) and submits the
   // reconstructed FG_READ.
   sim_.advance(timing_.fs_extent_lookup);
-  std::vector<LbaRange> ranges;
-  fs_.extract_lbas(file, offset, out.size(), ranges);
+  lba_scratch_.clear();
+  fs_.extract_lbas(file, offset, out.size(), lba_scratch_);
 
   InfoArea& info = ssd_.hmb().info();
   Command cmd;
   cmd.op = Opcode::kFgRead;
+  cmd.ranges = ssd_.take_fg_ranges();
   HmbAddr dest = plan.dest;
-  for (const LbaRange& r : ranges) {
+  for (const LbaRange& r : lba_scratch_) {
     PIPETTE_ASSERT_MSG(!info.full(), "Info Area backpressure");
     const std::uint64_t idx =
         info.push({dest, r.lba, r.offset, r.len});
@@ -186,12 +187,13 @@ bool PipettePath::try_fine_write(FileId file, int open_flags,
   // Constructor + Requester, write flavour: resolve the pages, ship only
   // the new bytes, let the device RMW internally.
   sim_.advance(timing_.fs_extent_lookup);
-  std::vector<LbaRange> ranges;
-  fs_.extract_lbas(file, offset, data.size(), ranges);
+  lba_scratch_.clear();
+  fs_.extract_lbas(file, offset, data.size(), lba_scratch_);
   Command cmd;
   cmd.op = Opcode::kFgWrite;
   cmd.write_data.assign(data.begin(), data.end());
-  for (const LbaRange& r : ranges) {
+  cmd.ranges = ssd_.take_fg_ranges();
+  for (const LbaRange& r : lba_scratch_) {
     cmd.ranges.push_back({r.lba, r.offset, r.len, 0});
   }
   bool done = false;

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "iopath/block_io_path.h"
 #include "pipette/detector.h"
@@ -79,6 +80,10 @@ class PipettePath : public ReadPathBase {
   FineGrainedAccessDetector detector_;
   std::unique_ptr<FineGrainedReadCache> fgrc_;
   PipettePathStats pstats_;
+  // Scratch for the LBA Extractor, reused across requests so the per-read
+  // hot path performs no heap allocation in steady state (Command::ranges
+  // is likewise recycled through the controller's FgRange pool).
+  std::vector<LbaRange> lba_scratch_;
 };
 
 }  // namespace pipette

@@ -25,17 +25,12 @@ std::optional<std::span<const std::uint8_t>> FineGrainedReadCache::lookup(
     accesses_since_epoch_ = 0;
   }
 
-  auto table_it = tables_.find(key.file);
-  if (table_it != tables_.end()) {
-    auto [lo, hi] = table_it->second.equal_range(key.offset);
-    for (auto it = lo; it != hi; ++it) {
-      if (store_.key(it->second) == key) {
-        stats_.lookups.record(true);
-        adaptive_.on_access(/*repeated=*/true);
-        store_.touch(it->second);
-        return store_.data(it->second);
-      }
-    }
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    stats_.lookups.record(true);
+    adaptive_.on_access(/*repeated=*/true);
+    store_.touch(it->second);
+    return store_.data(it->second);
   }
   stats_.lookups.record(false);
   adaptive_.on_access(/*repeated=*/ghosts_.seen(key));
@@ -119,6 +114,8 @@ MissPlan FineGrainedReadCache::plan_miss(const FgKey& key) {
   ghosts_.forget(key);
   ++stats_.promotions;
   tables_[key.file].emplace(key.offset, *loc);
+  const bool inserted = index_.emplace(key, *loc).second;
+  PIPETTE_ASSERT_MSG(inserted, "promoting an already-cached key");
   plan.dest = store_.hmb_addr(*loc);
   plan.promoted = true;
   plan.loc = *loc;
@@ -126,6 +123,7 @@ MissPlan FineGrainedReadCache::plan_miss(const FgKey& key) {
 }
 
 void FineGrainedReadCache::remove_index_entry(const FgKey& key, ItemLoc loc) {
+  index_.erase(key);
   auto table_it = tables_.find(key.file);
   PIPETTE_ASSERT(table_it != tables_.end());
   auto [lo, hi] = table_it->second.equal_range(key.offset);
@@ -155,6 +153,7 @@ std::uint32_t FineGrainedReadCache::invalidate_range(FileId file,
     const bool overlaps = k.offset < offset + len && offset < k.offset + k.len;
     if (overlaps && !(keep != nullptr && k == *keep)) {
       store_.free_item(it->second);
+      index_.erase(k);
       it = table.erase(it);
       ++removed;
       ++stats_.invalidations;
@@ -171,18 +170,26 @@ std::uint32_t FineGrainedReadCache::invalidate_range(FileId file,
 bool FineGrainedReadCache::update_in_place(
     const FgKey& key, std::span<const std::uint8_t> data) {
   PIPETTE_ASSERT(data.size() == key.len);
-  auto table_it = tables_.find(key.file);
-  if (table_it == tables_.end()) return false;
-  auto [lo, hi] = table_it->second.equal_range(key.offset);
-  for (auto it = lo; it != hi; ++it) {
-    if (store_.key(it->second) == key) {
-      auto dest = store_.mutable_data(it->second);
-      std::copy(data.begin(), data.end(), dest.begin());
-      store_.touch(it->second);
-      return true;
+  auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  auto dest = store_.mutable_data(it->second);
+  std::copy(data.begin(), data.end(), dest.begin());
+  store_.touch(it->second);
+  return true;
+}
+
+bool FineGrainedReadCache::index_consistent() const {
+  std::size_t table_entries = 0;
+  for (const auto& [file, table] : tables_) {
+    table_entries += table.size();
+    for (const auto& [offset, loc] : table) {
+      const FgKey k = store_.key(loc);
+      if (k.file != file || k.offset != offset) return false;
+      auto it = index_.find(k);
+      if (it == index_.end() || !(it->second == loc)) return false;
     }
   }
-  return false;
+  return table_entries == index_.size();
 }
 
 void FineGrainedReadCache::run_reassignment_epoch() {

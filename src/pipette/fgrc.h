@@ -93,6 +93,10 @@ class FineGrainedReadCache {
     return store_.data(loc);
   }
 
+  /// Invariant check (tests): the exact-match index and the offset-ordered
+  /// per-file tables describe the same set of live items.
+  bool index_consistent() const;
+
   const FgrcStats& stats() const { return stats_; }
   const SlabStore& store() const { return store_; }
   const AdaptiveThreshold& adaptive() const { return adaptive_; }
@@ -104,7 +108,10 @@ class FineGrainedReadCache {
 
  private:
   // Per-file table: ordered by offset so write invalidation can find
-  // overlapping ranges without scanning the whole file's items.
+  // overlapping ranges without scanning the whole file's items. The exact
+  // read path (lookup/update_in_place) instead goes through `index_`, a
+  // hash map over full keys, so the per-request cost is one hash probe
+  // rather than an ordered-tree walk over equal_range.
   using FileTable = std::multimap<std::uint64_t, ItemLoc>;
 
   void remove_index_entry(const FgKey& key, ItemLoc loc);
@@ -118,6 +125,7 @@ class FineGrainedReadCache {
   ReferenceTracker ghosts_;
   const RatioCounter* page_cache_hits_;
   std::unordered_map<FileId, FileTable> tables_;
+  std::unordered_map<FgKey, ItemLoc, FgKeyHash> index_;  // exact-match path
   FgrcStats stats_;
   Rng rng_{0xcafe};
   HmbAddr tempbuf_cursor_ = 0;

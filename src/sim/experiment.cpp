@@ -1,13 +1,18 @@
 #include "sim/experiment.h"
 
+#include <algorithm>
+#include <chrono>
+#include <mutex>
 #include <vector>
 
 #include "common/assert.h"
+#include "common/thread_pool.h"
 
 namespace pipette {
 
 RunResult run_experiment(const MachineConfig& config, Workload& workload,
                          const RunConfig& run) {
+  const auto host_t0 = std::chrono::steady_clock::now();
   Machine machine(config, workload.files());
   Vfs& vfs = machine.vfs();
 
@@ -46,25 +51,21 @@ RunResult run_experiment(const MachineConfig& config, Workload& workload,
   RunResult result;
   result.path_name = to_string(machine.kind());
   result.requests = run.requests;
+  result.measured_reads = machine.path().stats().reads - reads0;
   result.bytes_requested = machine.path().stats().bytes_requested - bytes0;
   result.elapsed = machine.sim().now() - t0;
   result.traffic_bytes = machine.io_traffic_bytes() - traffic0;
-  (void)reads0;
 
-  // Measured-phase latency distribution = total minus warmup snapshot.
-  // LatencyHistogram has no subtraction; approximate percentiles with the
-  // full-run histogram (warmup shifts them only marginally) but compute the
-  // mean exactly from the measured phase.
-  const LatencyHistogram& lat = machine.path().stats().read_latency;
-  const std::uint64_t measured_reads = lat.count() - lat0.count();
-  if (measured_reads > 0) {
-    const double total_ns = lat.mean_ns() * static_cast<double>(lat.count()) -
-                            lat0.mean_ns() * static_cast<double>(lat0.count());
-    result.mean_latency_us =
-        total_ns / static_cast<double>(measured_reads) / 1e3;
+  // Measured-phase latency distribution: subtract the warmup snapshot
+  // bucket-wise, so mean and percentiles all describe exactly the measured
+  // requests.
+  const LatencyHistogram measured =
+      machine.path().stats().read_latency.diff(lat0);
+  if (measured.count() > 0) {
+    result.mean_latency_us = measured.mean_ns() / 1e3;
+    result.p50_latency_us = to_us(measured.percentile(50));
+    result.p99_latency_us = to_us(measured.percentile(99));
   }
-  result.p50_latency_us = to_us(lat.percentile(50));
-  result.p99_latency_us = to_us(lat.percentile(99));
 
   if (PageCache* pc = machine.page_cache()) {
     const auto& now = pc->stats().lookups;
@@ -84,7 +85,49 @@ RunResult run_experiment(const MachineConfig& config, Workload& workload,
                   static_cast<double>(now.accesses() - fgrc0.accesses());
     result.fgrc_bytes = p->fgrc().memory_bytes();
   }
+  result.host_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - host_t0)
+          .count();
   return result;
+}
+
+std::vector<RunResult> run_experiments_parallel(
+    std::vector<ExperimentCell> cells, unsigned jobs,
+    const CellDoneFn& on_cell_done) {
+  std::vector<RunResult> results(cells.size());
+  if (jobs == 0) jobs = ThreadPool::default_threads();
+
+  auto run_cell = [&](std::size_t i) {
+    const ExperimentCell& cell = cells[i];
+    std::unique_ptr<Workload> workload = cell.make_workload();
+    PIPETTE_ASSERT_MSG(workload != nullptr, "cell workload factory failed");
+    results[i] = run_experiment(cell.config, *workload, cell.run);
+  };
+
+  if (jobs == 1 || cells.size() <= 1) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      run_cell(i);
+      if (on_cell_done) on_cell_done(i, results[i]);
+    }
+    return results;
+  }
+
+  ThreadPool pool(
+      static_cast<unsigned>(std::min<std::size_t>(jobs, cells.size())));
+  std::mutex done_mu;
+  std::vector<std::future<void>> pending;
+  pending.reserve(cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    pending.push_back(pool.submit([&, i] {
+      run_cell(i);
+      if (on_cell_done) {
+        std::lock_guard<std::mutex> lock(done_mu);
+        on_cell_done(i, results[i]);
+      }
+    }));
+  }
+  for (std::future<void>& f : pending) f.get();  // rethrows task failures
+  return results;
 }
 
 double normalized_throughput(const RunResult& result,

@@ -1,10 +1,18 @@
 // Experiment runner: drives a workload through a machine (warmup phase +
 // measured phase) and collects the metrics every table/figure in the paper
 // reports — throughput, I/O traffic, latency, cache hit ratios, memory use.
+//
+// Every cell (one machine + one workload + one run length) is fully
+// self-contained and deterministically seeded, so a matrix of cells is
+// embarrassingly parallel: run_experiments_parallel() fans cells across a
+// thread pool and returns results bit-identical to running them serially.
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "sim/machine.h"
 #include "workload/workload.h"
@@ -19,6 +27,7 @@ struct RunConfig {
 struct RunResult {
   std::string path_name;
   std::uint64_t requests = 0;
+  std::uint64_t measured_reads = 0;  // read ops in the measured phase
   std::uint64_t bytes_requested = 0;
   SimDuration elapsed = 0;          // simulated time of the measured phase
   std::uint64_t traffic_bytes = 0;  // device->host bytes, measured phase
@@ -31,6 +40,11 @@ struct RunResult {
   double fgrc_hit_ratio = 0.0;         // Pipette kinds only
   std::uint64_t page_cache_bytes = 0;  // resident at end of run
   std::uint64_t fgrc_bytes = 0;        // FGRC memory at end of run
+
+  /// Host wall-clock spent simulating this cell (warmup + measurement).
+  /// The only nondeterministic field: excluded from serial/parallel
+  /// equivalence comparisons.
+  double host_seconds = 0.0;
 
   double requests_per_sec() const {
     return elapsed == 0 ? 0.0
@@ -49,6 +63,27 @@ struct RunResult {
 /// measurement, and return the measured metrics.
 RunResult run_experiment(const MachineConfig& config, Workload& workload,
                          const RunConfig& run);
+
+/// One independent cell of an experiment matrix. The workload is constructed
+/// *inside* the task (each cell gets a fresh, deterministically seeded
+/// stream), which is what makes parallel and serial execution bit-identical.
+struct ExperimentCell {
+  MachineConfig config;
+  std::function<std::unique_ptr<Workload>()> make_workload;
+  RunConfig run;
+};
+
+/// Called (serialised) as each cell finishes: (cell index, its result).
+/// Completion order is nondeterministic with jobs > 1; results are not.
+using CellDoneFn = std::function<void(std::size_t, const RunResult&)>;
+
+/// Run every cell and return results in cell order. `jobs` = worker threads
+/// (0 = hardware concurrency, 1 = legacy serial path with no pool). Results
+/// are bit-identical to the serial runner at any job count, except
+/// RunResult::host_seconds.
+std::vector<RunResult> run_experiments_parallel(
+    std::vector<ExperimentCell> cells, unsigned jobs = 0,
+    const CellDoneFn& on_cell_done = nullptr);
 
 /// Normalised throughput: each result's requests/sec over the baseline's.
 double normalized_throughput(const RunResult& result,

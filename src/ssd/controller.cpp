@@ -56,6 +56,21 @@ void SsdController::submit(Command cmd, Completion done) {
   sim_.schedule(entry, std::move(run));
 }
 
+std::vector<FgRange> SsdController::take_fg_ranges() {
+  if (fg_range_pool_.empty()) return {};
+  std::vector<FgRange> out = std::move(fg_range_pool_.back());
+  fg_range_pool_.pop_back();
+  return out;
+}
+
+void SsdController::recycle_fg_ranges(std::vector<FgRange>&& ranges) {
+  if (ranges.capacity() == 0) return;
+  ranges.clear();
+  // A handful of buffers covers every in-flight fine-grained command; the
+  // cap only guards against a pathological burst pinning memory.
+  if (fg_range_pool_.size() < 64) fg_range_pool_.push_back(std::move(ranges));
+}
+
 void SsdController::complete(Completion& done, CommandResult result) {
   sim_.schedule(config_.timing.completion,
                 [done = std::move(done), result]() { done(result); });
@@ -192,6 +207,7 @@ void SsdController::do_fg_read(Command cmd, Completion done) {
     // retire records in ring order.
     for (std::size_t i = 0; i < job->cmd.ranges.size(); ++i)
       hmb_.info().consume();
+    recycle_fg_ranges(std::move(job->cmd.ranges));
     complete(job->done, CommandResult{sim_.now(), 0});
   };
 
@@ -269,6 +285,7 @@ void SsdController::do_fg_write(Command cmd, Completion done) {
         // proceeds in the background (it still occupies the die/channel).
         nand_.program_page(addr, [] {});
         if (--job->pages_pending == 0) {
+          recycle_fg_ranges(std::move(job->cmd.ranges));
           complete(job->done, CommandResult{sim_.now(), 0});
         }
       });

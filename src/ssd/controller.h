@@ -133,6 +133,11 @@ class SsdController {
   /// Account device->host bytes moved outside submit() flows (CMB pulls).
   void add_host_traffic(std::uint64_t bytes) { stats_.bytes_to_host += bytes; }
 
+  /// Recycled FgRange buffer (empty, capacity retained): hosts building
+  /// fine-grained commands take one here instead of allocating per request;
+  /// the controller reclaims the vector when the command retires.
+  std::vector<FgRange> take_fg_ranges();
+
  private:
   struct FgJob;
 
@@ -160,8 +165,11 @@ class SsdController {
   PcieLink pcie_;
   Hmb hmb_;
   Cmb cmb_;
+  void recycle_fg_ranges(std::vector<FgRange>&& ranges);
+
   LruMap<Lba, char> read_buffer_;  // presence set over device DRAM pages
   ControllerStats stats_;
+  std::vector<std::vector<FgRange>> fg_range_pool_;
 };
 
 }  // namespace pipette

@@ -3,9 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <future>
 #include <map>
 #include <set>
+#include <stdexcept>
 #include <vector>
 
 #include "common/bytes.h"
@@ -13,6 +16,7 @@
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/table.h"
+#include "common/thread_pool.h"
 #include "common/zipf.h"
 
 namespace pipette {
@@ -228,6 +232,85 @@ TEST(LatencyHistogram, ZeroAndHugeValues) {
   EXPECT_GE(h.percentile(100), 3000ull * kSec);
 }
 
+TEST(LatencyHistogram, SubtractionRemovesAPrefixSnapshot) {
+  LatencyHistogram h;
+  for (int i = 0; i < 10; ++i) h.record(100);
+  const LatencyHistogram snapshot = h;  // warmup boundary
+  for (int i = 0; i < 10; ++i) h.record(100'000);
+  LatencyHistogram measured = h.diff(snapshot);
+  EXPECT_EQ(measured.count(), 10u);
+  // total_ns subtraction is exact, so the mean is exactly the later values'.
+  EXPECT_DOUBLE_EQ(measured.mean_ns(), 100'000.0);
+  // Percentiles describe only the post-snapshot values (within bucket
+  // error); the full histogram's p50 would sit at the 100ns warmup spike.
+  EXPECT_NEAR(static_cast<double>(measured.percentile(50)), 100'000.0,
+              100'000.0 * 0.07);
+  EXPECT_NEAR(static_cast<double>(measured.percentile(1)), 100'000.0,
+              100'000.0 * 0.07);
+  EXPECT_NEAR(static_cast<double>(h.percentile(50)), 100.0, 100.0 * 0.07);
+  // min/max are representative bucket values after subtraction.
+  EXPECT_NEAR(static_cast<double>(measured.min()), 100'000.0,
+              100'000.0 * 0.07);
+  EXPECT_NEAR(static_cast<double>(measured.max()), 100'000.0,
+              100'000.0 * 0.07);
+}
+
+TEST(LatencyHistogram, SubtractionInPlaceAndEdgeCases) {
+  LatencyHistogram h;
+  h.record(5);
+  h.record(7);
+  const LatencyHistogram all = h;
+  h -= LatencyHistogram{};  // subtracting empty is a no-op
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.min(), 5u);  // sub-bucket range: values exact
+  EXPECT_EQ(h.max(), 7u);
+  h -= all;  // subtracting everything empties it
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean_ns(), 0.0);
+  EXPECT_EQ(h.percentile(99), 0u);
+}
+
+// --- ThreadPool ---
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 64; ++i)
+    futures.push_back(pool.submit([&ran] { ++ran; }));
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPool, DestructorDrainsPendingTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 32; ++i) pool.submit([&ran] { ++ran; });
+  }  // ~ThreadPool joins after the queue is empty
+  EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(ThreadPool, ExceptionsPropagateThroughFutures) {
+  ThreadPool pool(2);
+  auto ok = pool.submit([] {});
+  auto bad = pool.submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_NO_THROW(ok.get());
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  // The worker survives a throwing task.
+  auto after = pool.submit([] {});
+  EXPECT_NO_THROW(after.get());
+}
+
+TEST(ThreadPool, AtLeastOneWorkerEvenWhenAskedForZero) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_GE(ThreadPool::default_threads(), 1u);
+}
+
 // --- Pattern bytes ---
 
 TEST(PatternBytes, DeterministicAndKeyed) {
@@ -364,14 +447,15 @@ TEST(Zipf, LowerAlphaIsFlatter) {
 }
 
 TEST(BenchArgs, ParsesAllFlags) {
-  const char* argv[] = {"prog",   "--requests", "12345", "--seed",
-                        "9",      "--quick",    "--csv", "/tmp/x.csv"};
+  const char* argv[] = {"prog",   "--requests", "12345",  "--seed", "9",
+                        "--quick", "--csv",     "/tmp/x.csv", "--jobs", "8"};
   const BenchArgs args =
-      BenchArgs::parse(8, const_cast<char**>(argv));
+      BenchArgs::parse(10, const_cast<char**>(argv));
   EXPECT_EQ(args.requests, 12345u);
   EXPECT_EQ(args.seed, 9u);
   EXPECT_TRUE(args.quick);
   EXPECT_EQ(args.csv_path, "/tmp/x.csv");
+  EXPECT_EQ(args.jobs, 8u);
 }
 
 TEST(BenchArgs, DefaultsWhenBare) {
@@ -381,6 +465,7 @@ TEST(BenchArgs, DefaultsWhenBare) {
   EXPECT_EQ(args.seed, 42u);
   EXPECT_FALSE(args.quick);
   EXPECT_TRUE(args.csv_path.empty());
+  EXPECT_EQ(args.jobs, 0u);  // 0 = hardware concurrency
 }
 
 TEST(Table, ShortRowsArePadded) {

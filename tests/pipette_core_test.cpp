@@ -552,6 +552,76 @@ TEST_F(FgrcFixture, InvalidateRangeKeepParameterSpares) {
   EXPECT_FALSE(cache.lookup(other).has_value());
 }
 
+TEST_F(FgrcFixture, ExactIndexStaysConsistentAcrossPromoteEvictInvalidate) {
+  // Drive every mutation path — promotion, LRU eviction under pressure,
+  // slab migration, range invalidation, in-place update — and verify after
+  // each phase that the exact-match hash index and the offset-ordered
+  // per-file multimaps describe the same set of live items.
+  ASSERT_TRUE(cache.index_consistent());
+
+  // Promotions across two files until the store hits pressure (evictions
+  // and/or slab migrations both exercise index removal/stability).
+  for (std::uint64_t i = 0; i < 1500; ++i) {
+    const FgKey k{static_cast<FileId>(1 + (i % 2)), (i / 2) * 96, 96};
+    if (!cache.lookup(k).has_value()) cache.plan_miss(k);
+    if (i % 97 == 0) {
+      ASSERT_TRUE(cache.index_consistent()) << "i=" << i;
+    }
+  }
+  EXPECT_GT(cache.stats().pressure_evictions +
+                cache.stats().pressure_migrations,
+            0u);
+  ASSERT_TRUE(cache.index_consistent());
+
+  // Evicted keys must miss through the exact index, survivors must hit.
+  std::uint32_t hits = 0, misses = 0;
+  for (std::uint64_t i = 0; i < 1500; i += 7) {
+    const FgKey k{static_cast<FileId>(1 + (i % 2)), (i / 2) * 96, 96};
+    if (cache.lookup(k).has_value()) {
+      ++hits;
+    } else {
+      ++misses;
+      cache.plan_miss(k);  // may re-promote; index must keep up
+    }
+  }
+  EXPECT_GT(hits, 0u);
+  EXPECT_GT(misses, 0u);
+  ASSERT_TRUE(cache.index_consistent());
+
+  // Range invalidation (with and without a kept key) and in-place update.
+  const FgKey keep{1, 0, 96};
+  if (!cache.lookup(keep).has_value()) cache.plan_miss(keep);
+  std::vector<std::uint8_t> fresh(96, 0x42);
+  EXPECT_TRUE(cache.update_in_place(keep, {fresh.data(), fresh.size()}));
+  cache.invalidate_range(1, 0, 4096, &keep);
+  ASSERT_TRUE(cache.index_consistent());
+  EXPECT_TRUE(cache.lookup(keep).has_value());
+  cache.invalidate_range(1, 0, 1 << 20);
+  cache.invalidate_range(2, 0, 1 << 20);
+  ASSERT_TRUE(cache.index_consistent());
+  EXPECT_FALSE(cache.lookup(keep).has_value());
+}
+
+TEST_F(FgrcFixture, ReassignmentKeepsIndexConsistent) {
+  FgrcConfig cfg = facade_config();
+  cfg.reassign.enabled = true;
+  cfg.reassign.epoch_accesses = 64;
+  FineGrainedReadCache c2(hmb, cfg, &page_cache_hits);
+  for (std::uint64_t i = 0; i < 2 * (8192 / 128); ++i)
+    c2.plan_miss({7, i * 128, 128});
+  std::uint64_t i = 0;
+  while (c2.stats().reassigned_slabs == 0 && i < 50000) {
+    const FgKey k{1, i * 64, 64};
+    c2.lookup(k);
+    c2.plan_miss(k);
+    ++i;
+  }
+  ASSERT_GT(c2.stats().reassigned_slabs, 0u);
+  // Migrated (externalised) items keep their ItemLocs; hits still work.
+  EXPECT_TRUE(c2.index_consistent());
+  EXPECT_TRUE(c2.lookup({7, 0, 128}).has_value());
+}
+
 TEST_F(FgrcFixture, MemoryUsageTracksSlabs) {
   EXPECT_EQ(cache.memory_bytes(), 0u);
   cache.plan_miss({1, 0, 64});

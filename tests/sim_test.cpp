@@ -2,8 +2,11 @@
 // the experiment runner's accounting, and CSV output plumbing.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <memory>
+#include <vector>
 
 #include "common/table.h"
 #include "sim/experiment.h"
@@ -96,6 +99,98 @@ TEST(RunExperiment, SearchWorkloadRunsOnPipette) {
   EXPECT_GT(r.fgrc_hit_ratio, 0.0);
   EXPECT_GT(r.traffic_bytes, 0u);
   EXPECT_LT(r.traffic_bytes, r.requests * 4096);  // far below page-granular
+}
+
+TEST(RunExperiment, ReportsMeasuredReads) {
+  SyntheticConfig sc = table1_workload('E', Distribution::kUniform);
+  sc.file_size = 8 * kMiB;
+  SyntheticWorkload w(sc);
+  const RunResult r =
+      run_experiment(default_machine(PathKind::kBlockIo), w, {1500, 500});
+  // Workload E is all reads, so the measured phase is exactly them.
+  EXPECT_EQ(r.measured_reads, 1500u);
+}
+
+TEST(RunExperiment, PercentilesDescribeTheMeasuredPhaseOnly) {
+  // Determinism makes the two runs replay the identical request stream, so
+  // the {1000 measured, 2000 warmup} histogram is exactly a subset of the
+  // {3000 measured, 0 warmup} one. With bucket-wise subtraction the warm
+  // phase's percentiles cannot be dragged up by the cold-start warmup
+  // requests the old full-run approximation mixed in.
+  SyntheticConfig sc = table1_workload('E', Distribution::kUniform);
+  sc.file_size = 512 * 1024;  // small file: the warm phase is hit-heavy
+  MachineConfig mc = default_machine(PathKind::kPipette);
+  SyntheticWorkload cold(sc);
+  const RunResult all = run_experiment(mc, cold, {3000, 0});
+  SyntheticWorkload warm(sc);
+  const RunResult measured = run_experiment(mc, warm, {1000, 2000});
+  EXPECT_GT(measured.p50_latency_us, 0.0);
+  EXPECT_LE(measured.p50_latency_us, all.p50_latency_us);
+  EXPECT_LE(measured.p99_latency_us, all.p99_latency_us);
+  // The warm phase is dominated by FGRC hits; a distribution containing the
+  // all-miss cold start must sit strictly above it on average. The mean is
+  // computed from exact totals (not buckets), so the inequality is strict.
+  EXPECT_LT(measured.mean_latency_us, all.mean_latency_us);
+}
+
+// The tentpole guarantee: the parallel runner is bit-identical to the
+// serial one, field by field (host_seconds excepted — it is wall-clock).
+TEST(RunExperimentsParallel, MatchesSerialFieldByField) {
+  std::vector<ExperimentCell> cells;
+  for (PathKind kind : {PathKind::kBlockIo, PathKind::kPipette}) {
+    for (char wl : {'C', 'E'}) {
+      SyntheticConfig sc = table1_workload(wl, Distribution::kUniform, 42);
+      sc.file_size = 8 * kMiB;
+      cells.push_back({default_machine(kind),
+                       [sc]() -> std::unique_ptr<Workload> {
+                         return std::make_unique<SyntheticWorkload>(sc);
+                       },
+                       RunConfig{1200, 600}});
+    }
+  }
+  const auto serial = run_experiments_parallel(cells, /*jobs=*/1);
+  const auto parallel = run_experiments_parallel(cells, /*jobs=*/4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    const RunResult& s = serial[i];
+    const RunResult& p = parallel[i];
+    EXPECT_EQ(s.path_name, p.path_name) << "cell " << i;
+    EXPECT_EQ(s.requests, p.requests) << "cell " << i;
+    EXPECT_EQ(s.measured_reads, p.measured_reads) << "cell " << i;
+    EXPECT_EQ(s.bytes_requested, p.bytes_requested) << "cell " << i;
+    EXPECT_EQ(s.elapsed, p.elapsed) << "cell " << i;
+    EXPECT_EQ(s.traffic_bytes, p.traffic_bytes) << "cell " << i;
+    EXPECT_EQ(s.mean_latency_us, p.mean_latency_us) << "cell " << i;
+    EXPECT_EQ(s.p50_latency_us, p.p50_latency_us) << "cell " << i;
+    EXPECT_EQ(s.p99_latency_us, p.p99_latency_us) << "cell " << i;
+    EXPECT_EQ(s.page_cache_hit_ratio, p.page_cache_hit_ratio) << "cell " << i;
+    EXPECT_EQ(s.fgrc_hit_ratio, p.fgrc_hit_ratio) << "cell " << i;
+    EXPECT_EQ(s.page_cache_bytes, p.page_cache_bytes) << "cell " << i;
+    EXPECT_EQ(s.fgrc_bytes, p.fgrc_bytes) << "cell " << i;
+  }
+}
+
+TEST(RunExperimentsParallel, ReportsCompletionPerCell) {
+  std::vector<ExperimentCell> cells;
+  SyntheticConfig sc = table1_workload('E', Distribution::kUniform);
+  sc.file_size = 8 * kMiB;
+  for (int i = 0; i < 3; ++i) {
+    cells.push_back({default_machine(PathKind::kBlockIo),
+                     [sc]() -> std::unique_ptr<Workload> {
+                       return std::make_unique<SyntheticWorkload>(sc);
+                     },
+                     RunConfig{200, 100}});
+  }
+  std::vector<std::size_t> done;
+  const auto results = run_experiments_parallel(
+      cells, /*jobs=*/2,
+      [&done](std::size_t i, const RunResult& r) {
+        EXPECT_GT(r.host_seconds, 0.0);
+        done.push_back(i);
+      });
+  EXPECT_EQ(results.size(), 3u);
+  std::sort(done.begin(), done.end());
+  EXPECT_EQ(done, (std::vector<std::size_t>{0, 1, 2}));
 }
 
 TEST(NormalizedThroughput, RelativeToBaseline) {
