@@ -140,6 +140,53 @@ inline void emit(const Table& t, const BenchArgs& args) {
   if (!args.csv_path.empty()) t.write_csv(args.csv_path);
 }
 
+/// Machine-readable run summary (--json): per-cell host_seconds and
+/// events_executed, so the DES core's throughput is tracked across PRs
+/// (see EXPERIMENTS.md "Host-cost tracking").
+inline void write_json_summary(const BenchArgs& args, const char* bench,
+                               const std::map<char, Column>& matrix) {
+  if (args.json_path.empty()) return;
+  std::FILE* f = std::fopen(args.json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "pipette: cannot write JSON to %s\n",
+                 args.json_path.c_str());
+    return;
+  }
+  double total_seconds = 0.0;
+  std::uint64_t total_events = 0;
+  for (const auto& [wl, column] : matrix) {
+    for (const auto& [kind, r] : column) {
+      total_seconds += r.host_seconds;
+      total_events += r.events_executed;
+    }
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"jobs\": %u,\n", bench,
+               args.jobs);
+  std::fprintf(f, "  \"total_host_seconds\": %.6f,\n", total_seconds);
+  std::fprintf(f, "  \"total_events_executed\": %llu,\n",
+               static_cast<unsigned long long>(total_events));
+  std::fprintf(f, "  \"events_per_sec\": %.0f,\n",
+               total_seconds > 0.0
+                   ? static_cast<double>(total_events) / total_seconds
+                   : 0.0);
+  std::fprintf(f, "  \"cells\": [\n");
+  bool first = true;
+  for (const auto& [wl, column] : matrix) {
+    for (const auto& [kind, r] : column) {
+      std::fprintf(f,
+                   "%s    {\"workload\": \"%c\", \"system\": \"%s\", "
+                   "\"host_seconds\": %.6f, \"events_executed\": %llu, "
+                   "\"mean_latency_us\": %.6f}",
+                   first ? "" : ",\n", wl, short_name(kind), r.host_seconds,
+                   static_cast<unsigned long long>(r.events_executed),
+                   r.mean_latency_us);
+      first = false;
+    }
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+}
+
 inline void print_header(const char* title, const Scale& scale) {
   std::printf("=== %s ===\n", title);
   std::printf("(requests per run: %llu measured after %llu warmup)\n\n",

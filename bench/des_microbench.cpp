@@ -1,0 +1,145 @@
+// Microbenchmark of the discrete-event core: raw events/sec through the
+// Simulator, plus the host cost of one fixed fig6-style experiment cell.
+//
+// Two measurements, both written to BENCH_des.json (override with --json)
+// so the DES hot-loop's throughput is tracked across PRs:
+//  1. "raw": a lane of self-rescheduling tick events per concurrent timer —
+//     the pure schedule/pop/dispatch loop with a realistic (non-trivial)
+//     heap occupancy and small captures that must stay inside the
+//     callback's inline buffer (the bench asserts zero heap fallbacks).
+//  2. "cell": one Pipette / workload-E / uniform cell at a fixed request
+//     count — the end-to-end host_seconds and events_executed the paper
+//     benches actually pay per matrix cell.
+#include <chrono>
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.h"
+#include "common/inline_function.h"
+
+namespace {
+
+using namespace pipette;
+
+// One lane of the raw microbench: an event that re-arms itself until its
+// budget runs out. Capturing [this] keeps the closure at pointer size.
+struct Ticker {
+  Simulator* sim;
+  std::uint64_t remaining = 0;
+  SimDuration period = 0;
+
+  void arm() {
+    if (remaining == 0) return;
+    --remaining;
+    sim->schedule(period, [this] { arm(); });
+  }
+};
+
+double measure_raw_events_per_sec(std::uint64_t total_events,
+                                  std::uint64_t* heap_fallbacks,
+                                  double* seconds_out) {
+  constexpr std::uint32_t kLanes = 64;
+  Simulator sim;
+  std::vector<Ticker> lanes(kLanes);
+  for (std::uint32_t i = 0; i < kLanes; ++i) {
+    lanes[i].sim = &sim;
+    lanes[i].remaining = total_events / kLanes;
+    // Co-prime-ish periods give the queue a realistic mix of orderings
+    // (plenty of duplicate timestamps included).
+    lanes[i].period = 1 + (i % 7);
+  }
+  const std::uint64_t heap0 = inline_function_heap_allocations();
+  const auto t0 = std::chrono::steady_clock::now();
+  for (Ticker& lane : lanes) lane.arm();
+  sim.run_all();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  *heap_fallbacks = inline_function_heap_allocations() - heap0;
+  *seconds_out = seconds;
+  return seconds > 0.0
+             ? static_cast<double>(sim.events_executed()) / seconds
+             : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pipette;
+  using namespace pipette::bench;
+  const BenchArgs args = BenchArgs::parse(argc, argv);
+
+  std::uint64_t raw_events = 2'000'000;
+  if (args.quick) raw_events = 200'000;
+  if (args.requests != 0) raw_events = args.requests;
+
+  std::printf("=== DES microbench — event core throughput ===\n");
+
+  std::uint64_t heap_fallbacks = 0;
+  double raw_seconds = 0.0;
+  const double events_per_sec =
+      measure_raw_events_per_sec(raw_events, &heap_fallbacks, &raw_seconds);
+  std::printf(
+      "raw event loop : %llu events in %.3fs -> %.0f events/sec "
+      "(%llu heap-fallback callbacks)\n",
+      static_cast<unsigned long long>(raw_events), raw_seconds,
+      events_per_sec, static_cast<unsigned long long>(heap_fallbacks));
+  if (heap_fallbacks != 0) {
+    std::fprintf(stderr,
+                 "pipette: WARNING — raw loop callbacks fell back to the "
+                 "heap; the SBO regressed\n");
+  }
+
+  // Fixed cell (never rescaled by --quick/--requests: the point is a number
+  // comparable across PRs).
+  SyntheticConfig sc = table1_workload('E', Distribution::kUniform, 42);
+  sc.file_size = 8 * kMiB;
+  SyntheticWorkload workload(sc);
+  const RunConfig run{20'000, 10'000};
+  const RunResult cell =
+      run_experiment(default_machine(PathKind::kPipette), workload, run);
+  const double cell_events_per_sec =
+      cell.host_seconds > 0.0
+          ? static_cast<double>(cell.events_executed) / cell.host_seconds
+          : 0.0;
+  std::printf(
+      "fixed cell     : Pipette/E/uniform, %llu+%llu requests -> %.3fs "
+      "host, %llu events (%.0f events/sec)\n",
+      static_cast<unsigned long long>(run.requests),
+      static_cast<unsigned long long>(run.warmup), cell.host_seconds,
+      static_cast<unsigned long long>(cell.events_executed),
+      cell_events_per_sec);
+
+  const std::string json_path =
+      args.json_path.empty() ? "BENCH_des.json" : args.json_path;
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "pipette: cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"des_microbench\",\n"
+               "  \"raw_events\": %llu,\n"
+               "  \"raw_host_seconds\": %.6f,\n"
+               "  \"raw_events_per_sec\": %.0f,\n"
+               "  \"raw_heap_fallback_callbacks\": %llu,\n"
+               "  \"cell\": {\n"
+               "    \"system\": \"Pipette\", \"workload\": \"E\",\n"
+               "    \"requests\": %llu, \"warmup\": %llu,\n"
+               "    \"host_seconds\": %.6f,\n"
+               "    \"events_executed\": %llu,\n"
+               "    \"events_per_sec\": %.0f\n"
+               "  }\n"
+               "}\n",
+               static_cast<unsigned long long>(raw_events), raw_seconds,
+               events_per_sec,
+               static_cast<unsigned long long>(heap_fallbacks),
+               static_cast<unsigned long long>(run.requests),
+               static_cast<unsigned long long>(run.warmup), cell.host_seconds,
+               static_cast<unsigned long long>(cell.events_executed),
+               cell_events_per_sec);
+  std::fclose(f);
+  std::printf("summary        : %s\n", json_path.c_str());
+  return heap_fallbacks == 0 ? 0 : 1;
+}

@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   const auto matrix =
       run_synthetic_matrix(Distribution::kUniform, scale, args.seed, args.jobs);
   emit(throughput_table(matrix), args);
+  write_json_summary(args, "fig6_uniform_throughput", matrix);
 
   std::printf(
       "\nPaper reference (Fig. 6): Pipette ~1.0x at A rising to 31.2x at E;"

@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   const auto matrix =
       run_synthetic_matrix(Distribution::kZipf, scale, args.seed, args.jobs);
   emit(throughput_table(matrix), args);
+  write_json_summary(args, "fig7_zipf_throughput", matrix);
 
   std::printf(
       "\nPaper reference (Fig. 7): Pipette 1.1x..1.4x across A..E; spreads\n"

@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   const auto matrix =
       run_synthetic_matrix(Distribution::kUniform, scale, args.seed, args.jobs);
   emit(traffic_table(matrix), args);
+  write_json_summary(args, "table2_uniform_traffic", matrix);
 
   std::printf(
       "\nPaper reference (Table 2, 2.5M requests, MB):\n"

@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   const auto matrix =
       run_synthetic_matrix(Distribution::kZipf, scale, args.seed, args.jobs);
   emit(traffic_table(matrix), args);
+  write_json_summary(args, "table3_zipf_traffic", matrix);
 
   std::printf(
       "\nPaper reference (Table 3, 2.5M requests, MB):\n"

@@ -1,0 +1,142 @@
+// Small-buffer-optimized, move-only callable — the event-core replacement
+// for std::function.
+//
+// The discrete-event simulator executes one callback per event, millions of
+// times per experiment cell, so the container holding those callbacks must
+// not touch the heap for ordinary captures. InlineFunction stores any
+// nothrow-move-constructible callable of up to kInlineBytes directly in the
+// object; larger (or over-aligned) callables fall back to a single heap
+// allocation, and every fallback is counted so tests can assert the hot
+// path stayed allocation-free.
+//
+// Differences from std::function, on purpose:
+//  * move-only (copying a captured closure per event was the old core's
+//    main cost — the type now forbids it outright);
+//  * no target_type()/target() introspection;
+//  * invoking an empty InlineFunction is undefined (asserted in debug).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "common/assert.h"
+
+namespace pipette {
+
+namespace detail {
+/// Number of InlineFunction constructions that had to heap-allocate because
+/// the callable exceeded the inline buffer. Monotonic, process-wide.
+inline std::atomic<std::uint64_t> inline_function_heap_allocs{0};
+}  // namespace detail
+
+/// Total heap-fallback constructions across all InlineFunction
+/// instantiations (any signature, any buffer size) in this process.
+inline std::uint64_t inline_function_heap_allocations() {
+  return detail::inline_function_heap_allocs.load(std::memory_order_relaxed);
+}
+
+template <typename Signature, std::size_t InlineBytes = 48>
+class InlineFunction;
+
+template <typename R, typename... Args, std::size_t InlineBytes>
+class InlineFunction<R(Args...), InlineBytes> {
+ public:
+  static constexpr std::size_t kInlineBytes = InlineBytes;
+
+  InlineFunction() noexcept = default;
+  InlineFunction(std::nullptr_t) noexcept {}
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InlineFunction> &&
+                                        std::is_invocable_r_v<R, D&, Args...>>>
+  InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    if constexpr (stores_inline<D>()) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      invoke_ = [](void* obj, Args... args) -> R {
+        return (*static_cast<D*>(obj))(std::forward<Args>(args)...);
+      };
+      manage_ = &manage_inline<D>;
+    } else {
+      detail::inline_function_heap_allocs.fetch_add(1,
+                                                    std::memory_order_relaxed);
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(f)));
+      invoke_ = [](void* obj, Args... args) -> R {
+        return (**static_cast<D**>(obj))(std::forward<Args>(args)...);
+      };
+      manage_ = &manage_heap<D>;
+    }
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { move_from(other); }
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+  ~InlineFunction() { reset(); }
+
+  explicit operator bool() const noexcept { return invoke_ != nullptr; }
+
+  R operator()(Args... args) {
+    PIPETTE_ASSERT_MSG(invoke_ != nullptr, "invoking empty InlineFunction");
+    return invoke_(storage_, std::forward<Args>(args)...);
+  }
+
+  /// Whether a callable of type D would be stored inline (no heap).
+  template <typename D>
+  static constexpr bool stores_inline() {
+    using T = std::decay_t<D>;
+    return sizeof(T) <= InlineBytes &&
+           alignof(T) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<T>;
+  }
+
+ private:
+  enum class Op { kMoveDestroy, kDestroy };
+  using ManageFn = void (*)(Op, void* self, void* dest);
+
+  template <typename D>
+  static void manage_inline(Op op, void* self, void* dest) {
+    D* obj = static_cast<D*>(self);
+    if (op == Op::kMoveDestroy) ::new (dest) D(std::move(*obj));
+    obj->~D();
+  }
+
+  template <typename D>
+  static void manage_heap(Op op, void* self, void* dest) {
+    D** slot = static_cast<D**>(self);
+    if (op == Op::kMoveDestroy) {
+      ::new (dest) D*(*slot);  // ownership transfers with the pointer
+    } else {
+      delete *slot;
+    }
+  }
+
+  void move_from(InlineFunction& other) noexcept {
+    invoke_ = other.invoke_;
+    manage_ = other.manage_;
+    if (manage_ != nullptr) manage_(Op::kMoveDestroy, other.storage_, storage_);
+    other.invoke_ = nullptr;
+    other.manage_ = nullptr;
+  }
+
+  void reset() noexcept {
+    if (manage_ != nullptr) manage_(Op::kDestroy, storage_, nullptr);
+    invoke_ = nullptr;
+    manage_ = nullptr;
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[InlineBytes];
+  R (*invoke_)(void*, Args...) = nullptr;
+  ManageFn manage_ = nullptr;
+};
+
+}  // namespace pipette

@@ -109,6 +109,8 @@ BenchArgs BenchArgs::parse(int argc, char** argv) {
     };
     if (std::strcmp(argv[i], "--csv") == 0) {
       args.csv_path = need_value("--csv");
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      args.json_path = need_value("--json");
     } else if (std::strcmp(argv[i], "--requests") == 0) {
       args.requests = std::strtoull(need_value("--requests"), nullptr, 10);
     } else if (std::strcmp(argv[i], "--seed") == 0) {
@@ -121,10 +123,12 @@ BenchArgs BenchArgs::parse(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::printf(
           "usage: %s [--requests N] [--seed S] [--quick] [--jobs N] "
-          "[--csv PATH]\n"
-          "  --jobs N  run independent experiment cells on N threads\n"
-          "            (0 = hardware concurrency, 1 = serial; results are\n"
-          "            bit-identical at any job count)\n",
+          "[--csv PATH] [--json PATH]\n"
+          "  --jobs N     run independent experiment cells on N threads\n"
+          "               (0 = hardware concurrency, 1 = serial; results\n"
+          "               are bit-identical at any job count)\n"
+          "  --json PATH  write a machine-readable summary (host_seconds,\n"
+          "               events_executed per cell) for perf tracking\n",
           argv[0]);
       std::exit(0);
     } else {

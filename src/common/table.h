@@ -39,10 +39,11 @@ class Table {
   std::vector<std::vector<std::string>> rows_;
 };
 
-/// Parses the common bench CLI: --csv <path>, --requests N, --quick,
-/// --seed S, --jobs N.
+/// Parses the common bench CLI: --csv <path>, --json <path>, --requests N,
+/// --quick, --seed S, --jobs N.
 struct BenchArgs {
   std::string csv_path;         // empty = no CSV
+  std::string json_path;        // empty = no JSON summary
   std::uint64_t requests = 0;   // 0 = bench default
   std::uint64_t seed = 42;
   bool quick = false;           // reduced request count for smoke runs

@@ -12,34 +12,27 @@ void Simulator::schedule(SimDuration delay, Callback cb) {
 
 void Simulator::schedule_at(SimTime when, Callback cb) {
   PIPETTE_ASSERT_MSG(when >= now_, "cannot schedule an event in the past");
-  queue_.push(Event{when, next_seq_++, std::move(cb)});
+  queue_.push(when, next_seq_++, std::move(cb));
 }
 
 void Simulator::pop_and_run() {
-  // Move the callback out before popping so the event can schedule others.
-  Event ev = queue_.top();
-  queue_.pop();
-  if (ev.when > now_) now_ = ev.when;
+  // Move the callback out of its node (never copied); the node is recycled
+  // before the callback runs, so the event can schedule others freely.
+  SimTime when;
+  Callback cb;
+  queue_.pop_min(when, cb);
+  if (when > now_) now_ = when;
   ++executed_;
-  ev.cb();
+  cb();
 }
 
 void Simulator::run_until(SimTime t) {
-  while (!queue_.empty() && queue_.top().when <= t) pop_and_run();
+  while (!queue_.empty() && queue_.min_when() <= t) pop_and_run();
   if (now_ < t) now_ = t;
 }
 
 void Simulator::run_all() {
   while (!queue_.empty()) pop_and_run();
-}
-
-bool Simulator::run_until_condition(const std::function<bool()>& done) {
-  if (done()) return true;
-  while (!queue_.empty()) {
-    pop_and_run();
-    if (done()) return true;
-  }
-  return false;
 }
 
 }  // namespace pipette

@@ -5,20 +5,24 @@
 // with advance(); asynchronous device work (NAND array operations, DMA
 // completions, maintenance threads) is scheduled as events. Ties are broken
 // by insertion order, making every run fully deterministic.
+//
+// Hot-path design (see DESIGN.md "DES internals"): callbacks are
+// InlineFunction<void()> — move-only with a 48-byte small-buffer so typical
+// captures never heap-allocate — and the timer queue is a 4-ary heap over
+// pooled event nodes whose pop moves the callback out instead of copying it.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <vector>
 
+#include "common/inline_function.h"
 #include "common/units.h"
+#include "des/event_queue.h"
 
 namespace pipette {
 
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  using Callback = EventQueue::Callback;
 
   /// Current simulated time.
   SimTime now() const { return now_; }
@@ -43,31 +47,28 @@ class Simulator {
   void run_all();
 
   /// Run events until `done` returns true (checked after each event).
-  /// Returns false if the queue drained first.
-  bool run_until_condition(const std::function<bool()>& done);
+  /// Returns false if the queue drained first. Templated so call sites pay
+  /// neither a std::function construction nor an indirect predicate call.
+  template <typename Pred>
+  bool run_until_condition(Pred&& done) {
+    if (done()) return true;
+    while (!queue_.empty()) {
+      pop_and_run();
+      if (done()) return true;
+    }
+    return false;
+  }
 
   std::size_t pending_events() const { return queue_.size(); }
   std::uint64_t events_executed() const { return executed_; }
 
  private:
-  struct Event {
-    SimTime when;
-    std::uint64_t seq;  // FIFO tie-break for determinism
-    Callback cb;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
-  };
-
   void pop_and_run();
 
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  EventQueue queue_;
 };
 
 }  // namespace pipette

@@ -10,7 +10,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "common/rng.h"
@@ -87,7 +86,10 @@ struct NandStats {
 
 class NandArray {
  public:
-  using DoneCallback = std::function<void()>;
+  // Completion callbacks ride the simulator's event queue directly, so they
+  // share its small-buffer-optimized type: keep captures <= the SBO limit
+  // (Simulator::Callback::kInlineBytes) and they never heap-allocate.
+  using DoneCallback = Simulator::Callback;
 
   NandArray(Simulator& sim, NandGeometry geometry, NandTiming timing,
             NandFaultModel faults = {});

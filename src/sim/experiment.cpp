@@ -85,6 +85,7 @@ RunResult run_experiment(const MachineConfig& config, Workload& workload,
                   static_cast<double>(now.accesses() - fgrc0.accesses());
     result.fgrc_bytes = p->fgrc().memory_bytes();
   }
+  result.events_executed = machine.sim().events_executed();
   result.host_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - host_t0)
           .count();

@@ -41,6 +41,11 @@ struct RunResult {
   std::uint64_t page_cache_bytes = 0;  // resident at end of run
   std::uint64_t fgrc_bytes = 0;        // FGRC memory at end of run
 
+  /// Simulator events executed over the whole cell (warmup + measurement).
+  /// Deterministic; together with host_seconds it tracks the DES core's
+  /// events/sec across PRs (see bench/des_microbench).
+  std::uint64_t events_executed = 0;
+
   /// Host wall-clock spent simulating this cell (warmup + measurement).
   /// The only nondeterministic field: excluded from serial/parallel
   /// equivalence comparisons.

@@ -1,7 +1,6 @@
 #include "ssd/controller.h"
 
 #include <algorithm>
-#include <map>
 #include <utility>
 
 #include "common/assert.h"
@@ -16,6 +15,34 @@ std::uint64_t resolve_lba_count(const ControllerConfig& config) {
 }
 }  // namespace
 
+// Shared state of one in-flight fine-grained command. Pooled: the record is
+// reused across commands, so the by-page grouping keeps its vector
+// capacities and the steady state allocates nothing.
+struct SsdController::FgJob {
+  Command cmd;
+  Completion done;
+  std::uint32_t pages_pending = 0;
+  std::uint32_t ranges_pending = 0;
+
+  struct PageGroup {
+    Lba lba = kInvalidLba;
+    // Range pointer into cmd.ranges (stable: the vector is not resized
+    // after grouping) + byte offset of its payload within cmd.write_data
+    // (kFgWrite only; 0 for reads).
+    std::vector<std::pair<const FgRange*, std::uint64_t>> ranges;
+  };
+  std::vector<PageGroup> by_page;
+  std::size_t pages_used = 0;  // by_page[0..pages_used) are this command's
+};
+
+// Shared state of one in-flight block read/write: the command, the host
+// completion and the pages-outstanding fan-in counter.
+struct SsdController::BlockJob {
+  Command cmd;
+  Completion done;
+  std::uint32_t remaining = 0;
+};
+
 SsdController::SsdController(Simulator& sim, const ControllerConfig& config)
     : sim_(sim),
       config_(config),
@@ -28,13 +55,31 @@ SsdController::SsdController(Simulator& sim, const ControllerConfig& config)
       read_buffer_(std::max<std::uint64_t>(
           1, config.read_buffer_bytes / kBlockSize)) {}
 
+SsdController::~SsdController() = default;
+
 void SsdController::submit(Command cmd, Completion done) {
   ++stats_.commands;
   // Submission path: host driver builds the SQE, rings the doorbell, the
-  // controller fetches the command; firmware then begins processing.
+  // controller fetches the command; firmware then begins processing. The
+  // command parks in a pooled slot so the scheduled closure captures only
+  // {this, slot} and stays within the callback's inline buffer.
   const SimDuration entry =
       config_.timing.submission + config_.timing.firmware_per_cmd;
-  auto run = [this, cmd = std::move(cmd), done = std::move(done)]() mutable {
+  std::uint32_t slot;
+  if (!pending_free_.empty()) {
+    slot = pending_free_.back();
+    pending_free_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(pending_cmds_.size());
+    pending_cmds_.emplace_back();
+  }
+  pending_cmds_[slot].cmd = std::move(cmd);
+  pending_cmds_[slot].done = std::move(done);
+  sim_.schedule(entry, [this, slot]() {
+    PendingCmd& parked = pending_cmds_[slot];
+    Command cmd = std::move(parked.cmd);
+    Completion done = std::move(parked.done);
+    pending_free_.push_back(slot);
     switch (cmd.op) {
       case Opcode::kRead:
         do_block_read(std::move(cmd), std::move(done));
@@ -52,8 +97,7 @@ void SsdController::submit(Command cmd, Completion done) {
         do_read_to_cmb(std::move(cmd), std::move(done));
         break;
     }
-  };
-  sim_.schedule(entry, std::move(run));
+  });
 }
 
 std::vector<FgRange> SsdController::take_fg_ranges() {
@@ -76,6 +120,25 @@ void SsdController::complete(Completion& done, CommandResult result) {
                 [done = std::move(done), result]() { done(result); });
 }
 
+std::uint32_t SsdController::acquire_stage_slot(Simulator::Callback ready) {
+  std::uint32_t slot;
+  if (!stage_free_.empty()) {
+    slot = stage_free_.back();
+    stage_free_.pop_back();
+    stage_slots_[slot] = std::move(ready);
+  } else {
+    slot = static_cast<std::uint32_t>(stage_slots_.size());
+    stage_slots_.push_back(std::move(ready));
+  }
+  return slot;
+}
+
+Simulator::Callback SsdController::take_stage_slot(std::uint32_t slot) {
+  Simulator::Callback ready = std::move(stage_slots_[slot]);
+  stage_free_.push_back(slot);
+  return ready;
+}
+
 void SsdController::stage_page(Lba lba, Simulator::Callback ready,
                                bool use_buffer) {
   PIPETTE_ASSERT(lba < ftl_.lba_count());
@@ -92,10 +155,37 @@ void SsdController::stage_page(Lba lba, Simulator::Callback ready,
   stats_.read_buffer.record(false);
   ftl_.note_read();
   const PhysPageAddr addr = ftl_.lookup(lba);
-  nand_.read_page(addr, [this, lba, ready = std::move(ready)]() {
+  // Park `ready` (itself a full-size callback) in a pooled slot so the NAND
+  // completion closure does not nest one callback inside another.
+  const std::uint32_t slot = acquire_stage_slot(std::move(ready));
+  nand_.read_page(addr, [this, lba, slot]() {
     read_buffer_.insert(lba, 0);
-    ready();
+    Simulator::Callback parked = take_stage_slot(slot);
+    parked();
   });
+}
+
+SsdController::BlockJob* SsdController::acquire_block_job(Command cmd,
+                                                          Completion done) {
+  BlockJob* job;
+  if (!block_job_free_.empty()) {
+    job = block_job_free_.back();
+    block_job_free_.pop_back();
+  } else {
+    block_job_pool_.push_back(std::make_unique<BlockJob>());
+    job = block_job_pool_.back().get();
+  }
+  job->cmd = std::move(cmd);
+  job->done = std::move(done);
+  job->remaining = 0;
+  return job;
+}
+
+void SsdController::finish_block_job(BlockJob* job) {
+  Completion done = std::move(job->done);
+  job->cmd = Command{};
+  block_job_free_.push_back(job);
+  complete(done, CommandResult{sim_.now(), 0});
 }
 
 void SsdController::do_block_read(Command cmd, Completion done) {
@@ -106,28 +196,25 @@ void SsdController::do_block_read(Command cmd, Completion done) {
 
   // Stage every page into the device buffer (NAND reads run in parallel
   // across dies), then move the whole payload to the host in one DMA.
-  auto state = std::make_shared<std::uint32_t>(cmd.nlb);
-  auto finish = [this, cmd, done = std::move(done)]() mutable {
-    const std::uint64_t bytes =
-        static_cast<std::uint64_t>(cmd.nlb) * kBlockSize;
-    pcie_.dma(bytes, [this, cmd, done = std::move(done), bytes]() mutable {
-      for (std::uint32_t i = 0; i < cmd.nlb; ++i) {
-        content_.read(cmd.lba + i, 0,
-                      cmd.host_dest.subspan(
-                          static_cast<std::size_t>(i) * kBlockSize,
-                          kBlockSize));
-      }
-      stats_.bytes_to_host += bytes;
-      complete(done, CommandResult{sim_.now(), 0});
-    });
-  };
-  auto shared_finish =
-      std::make_shared<decltype(finish)>(std::move(finish));
-  for (std::uint32_t i = 0; i < cmd.nlb; ++i) {
+  BlockJob* job = acquire_block_job(std::move(cmd), std::move(done));
+  job->remaining = job->cmd.nlb;
+  for (std::uint32_t i = 0; i < job->cmd.nlb; ++i) {
     stage_page(
-        cmd.lba + i,
-        [state, shared_finish]() {
-          if (--*state == 0) (*shared_finish)();
+        job->cmd.lba + i,
+        [this, job]() {
+          if (--job->remaining > 0) return;
+          const std::uint64_t bytes =
+              static_cast<std::uint64_t>(job->cmd.nlb) * kBlockSize;
+          pcie_.dma(bytes, [this, job, bytes]() {
+            for (std::uint32_t p = 0; p < job->cmd.nlb; ++p) {
+              content_.read(job->cmd.lba + p, 0,
+                            job->cmd.host_dest.subspan(
+                                static_cast<std::size_t>(p) * kBlockSize,
+                                kBlockSize));
+            }
+            stats_.bytes_to_host += bytes;
+            finish_block_job(job);
+          });
         },
         config_.block_reads_use_buffer);
   }
@@ -148,16 +235,13 @@ void SsdController::do_block_write(Command cmd, Completion done) {
     // keep the buffer coherent by dropping it (next read re-stages).
     read_buffer_.erase(cmd.lba + i);
   }
-  auto state = std::make_shared<std::uint32_t>(cmd.nlb);
-  auto fin = [this, done = std::move(done)]() mutable {
-    complete(done, CommandResult{sim_.now(), 0});
-  };
-  auto shared_fin = std::make_shared<decltype(fin)>(std::move(fin));
-  for (std::uint32_t i = 0; i < cmd.nlb; ++i) {
-    const PhysPageAddr addr = ftl_.update(cmd.lba + i);
+  BlockJob* job = acquire_block_job(std::move(cmd), std::move(done));
+  job->remaining = job->cmd.nlb;
+  for (std::uint32_t i = 0; i < job->cmd.nlb; ++i) {
+    const PhysPageAddr addr = ftl_.update(job->cmd.lba + i);
     perform_gc_moves();
-    nand_.program_page(addr, [state, shared_fin]() {
-      if (--*state == 0) (*shared_fin)();
+    nand_.program_page(addr, [this, job]() {
+      if (--job->remaining == 0) finish_block_job(job);
     });
   }
 }
@@ -173,63 +257,104 @@ void SsdController::perform_gc_moves() {
   }
 }
 
-// Shared state of one in-flight fine-grained read command.
-struct SsdController::FgJob {
-  Command cmd;
-  Completion done;
-  std::uint32_t pages_pending = 0;
-  std::uint32_t ranges_pending = 0;
-};
+SsdController::FgJob* SsdController::acquire_fg_job(Command cmd,
+                                                    Completion done) {
+  FgJob* job;
+  if (!fg_job_free_.empty()) {
+    job = fg_job_free_.back();
+    fg_job_free_.pop_back();
+  } else {
+    fg_job_pool_.push_back(std::make_unique<FgJob>());
+    job = fg_job_pool_.back().get();
+  }
+  job->cmd = std::move(cmd);
+  job->done = std::move(done);
+  job->pages_pending = 0;
+  job->ranges_pending = 0;
+  job->pages_used = 0;
+  return job;
+}
+
+void SsdController::release_fg_job(FgJob* job) {
+  job->cmd = Command{};
+  fg_job_free_.push_back(job);
+}
+
+void SsdController::group_ranges_by_page(FgJob& job, bool with_offsets) {
+  job.pages_used = 0;
+  std::uint64_t consumed = 0;
+  for (const FgRange& r : job.cmd.ranges) {
+    PIPETTE_ASSERT(r.len > 0 && r.offset + r.len <= kBlockSize);
+    FgJob::PageGroup* group = nullptr;
+    // Linear scan: fine-grained commands span a handful of pages at most.
+    for (std::size_t i = 0; i < job.pages_used; ++i) {
+      if (job.by_page[i].lba == r.lba) {
+        group = &job.by_page[i];
+        break;
+      }
+    }
+    if (group == nullptr) {
+      if (job.pages_used == job.by_page.size()) job.by_page.emplace_back();
+      group = &job.by_page[job.pages_used++];
+      group->lba = r.lba;
+      group->ranges.clear();
+    }
+    group->ranges.emplace_back(&r, with_offsets ? consumed : 0);
+    consumed += r.len;
+  }
+  // Ascending-Lba page order (unique keys, so the sort is deterministic).
+  std::sort(job.by_page.begin(),
+            job.by_page.begin() + static_cast<std::ptrdiff_t>(job.pages_used),
+            [](const FgJob::PageGroup& a, const FgJob::PageGroup& b) {
+              return a.lba < b.lba;
+            });
+}
+
+// Once every range of every page has been DMAed, retire the command and
+// advance the Info Area head past all of this command's records.
+void SsdController::fg_range_done(FgJob* job) {
+  if (--job->ranges_pending > 0) return;
+  // Device "digests items in Info Area and increases the head's value":
+  // retire records in ring order.
+  for (std::size_t i = 0; i < job->cmd.ranges.size(); ++i)
+    hmb_.info().consume();
+  recycle_fg_ranges(std::move(job->cmd.ranges));
+  Completion done = std::move(job->done);
+  release_fg_job(job);
+  complete(done, CommandResult{sim_.now(), 0});
+}
 
 void SsdController::do_fg_read(Command cmd, Completion done) {
   ++stats_.fg_reads;
   stats_.fg_ranges += cmd.ranges.size();
   PIPETTE_ASSERT(!cmd.ranges.empty());
 
-  auto job = std::make_shared<FgJob>();
-  job->cmd = std::move(cmd);
-  job->done = std::move(done);
+  FgJob* job = acquire_fg_job(std::move(cmd), std::move(done));
   job->ranges_pending = static_cast<std::uint32_t>(job->cmd.ranges.size());
 
   // Phase 1: group ranges by page and load each distinct page once.
-  std::map<Lba, std::vector<const FgRange*>> by_page;
-  for (const FgRange& r : job->cmd.ranges) {
-    PIPETTE_ASSERT(r.len > 0 && r.offset + r.len <= kBlockSize);
-    by_page[r.lba].push_back(&r);
-  }
-  job->pages_pending = static_cast<std::uint32_t>(by_page.size());
+  group_ranges_by_page(*job, /*with_offsets=*/false);
+  job->pages_pending = static_cast<std::uint32_t>(job->pages_used);
 
-  // Once every range of every page has been DMAed, retire the command and
-  // advance the Info Area head past all of this command's records.
-  auto range_done = [this, job]() {
-    if (--job->ranges_pending > 0) return;
-    // Device "digests items in Info Area and increases the head's value":
-    // retire records in ring order.
-    for (std::size_t i = 0; i < job->cmd.ranges.size(); ++i)
-      hmb_.info().consume();
-    recycle_fg_ranges(std::move(job->cmd.ranges));
-    complete(job->done, CommandResult{sim_.now(), 0});
-  };
-
-  for (auto& [lba, ranges] : by_page) {
-    // Copy the per-page range list; `job` keeps the FgRanges alive.
-    stage_page(lba, [this, job, ranges, range_done]() {
+  // Snapshot the page count: a buffer hit runs the staging callback
+  // synchronously, and the last one may retire (and recycle) the job.
+  const std::size_t pages = job->pages_used;
+  for (std::size_t gi = 0; gi < pages; ++gi) {
+    stage_page(job->by_page[gi].lba, [this, job, gi]() {
       // Phase 2+3: consume Info records for destination addresses, extract
       // each range from the buffered page, DMA it home.
-      for (const FgRange* r : ranges) {
+      for (const auto& [r, unused] : job->by_page[gi].ranges) {
         const InfoRecord& rec = hmb_.info().at(r->info_index);
         PIPETTE_ASSERT(rec.lba == r->lba);
         PIPETTE_ASSERT(rec.byte_offset == r->offset);
         PIPETTE_ASSERT(rec.byte_len == r->len);
-        sim_.schedule(config_.timing.firmware_per_range, [this, job,
-                                                          rec, range_done]() {
-          pcie_.dma(rec.byte_len, [this, rec, range_done]() {
+        sim_.schedule(config_.timing.firmware_per_range, [this, job, rec]() {
+          pcie_.dma(rec.byte_len, [this, job, rec]() {
             std::vector<std::uint8_t> tmp(rec.byte_len);
-            content_.read(rec.lba, rec.byte_offset,
-                          {tmp.data(), tmp.size()});
+            content_.read(rec.lba, rec.byte_offset, {tmp.data(), tmp.size()});
             hmb_.dma_write(rec.dest, {tmp.data(), tmp.size()});
             stats_.bytes_to_host += rec.byte_len;
-            range_done();
+            fg_range_done(job);
           });
         });
       }
@@ -251,34 +376,28 @@ void SsdController::do_fg_write(Command cmd, Completion done) {
   PIPETTE_ASSERT(cmd.write_data.size() == payload);
   stats_.bytes_from_host += payload;
 
-  auto job = std::make_shared<FgJob>();
-  job->cmd = std::move(cmd);
-  job->done = std::move(done);
+  FgJob* job = acquire_fg_job(std::move(cmd), std::move(done));
 
   // Host -> device payload DMA first, then per-page RMW.
   pcie_.dma(payload, [this, job]() {
-    // Group ranges by page.
-    std::map<Lba, std::vector<std::pair<const FgRange*, std::uint64_t>>>
-        by_page;  // range + offset of its bytes within write_data
-    std::uint64_t consumed = 0;
-    for (const FgRange& r : job->cmd.ranges) {
-      PIPETTE_ASSERT(r.len > 0 && r.offset + r.len <= kBlockSize);
-      by_page[r.lba].emplace_back(&r, consumed);
-      consumed += r.len;
-    }
-    job->pages_pending = static_cast<std::uint32_t>(by_page.size());
+    // Group ranges by page, remembering where each range's payload bytes
+    // sit within write_data.
+    group_ranges_by_page(*job, /*with_offsets=*/true);
+    job->pages_pending = static_cast<std::uint32_t>(job->pages_used);
 
-    for (auto& [lba, ranges] : by_page) {
-      stage_page(lba, [this, job, lba, ranges]() {
+    // Snapshot as in do_fg_read: the last synchronous buffer hit may
+    // retire the job before this loop finishes.
+    const std::size_t pages = job->pages_used;
+    for (std::size_t gi = 0; gi < pages; ++gi) {
+      stage_page(job->by_page[gi].lba, [this, job, gi]() {
         // Patch the buffered page and persist to a fresh physical page.
-        for (const auto& [r, data_off] : ranges) {
+        for (const auto& [r, data_off] : job->by_page[gi].ranges) {
           sim_.advance(0);  // patching happens in controller SRAM
-          content_.write(
-              r->lba, r->offset,
-              std::span<const std::uint8_t>(
-                  job->cmd.write_data.data() + data_off, r->len));
+          content_.write(r->lba, r->offset,
+                         std::span<const std::uint8_t>(
+                             job->cmd.write_data.data() + data_off, r->len));
         }
-        const PhysPageAddr addr = ftl_.update(lba);
+        const PhysPageAddr addr = ftl_.update(job->by_page[gi].lba);
         perform_gc_moves();
         // Modern SSDs acknowledge writes once the data sits in the
         // capacitor-backed controller write cache; the program itself
@@ -286,7 +405,9 @@ void SsdController::do_fg_write(Command cmd, Completion done) {
         nand_.program_page(addr, [] {});
         if (--job->pages_pending == 0) {
           recycle_fg_ranges(std::move(job->cmd.ranges));
-          complete(job->done, CommandResult{sim_.now(), 0});
+          Completion done = std::move(job->done);
+          release_fg_job(job);
+          complete(done, CommandResult{sim_.now(), 0});
         }
       });
     }

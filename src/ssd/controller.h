@@ -112,6 +112,7 @@ class SsdController {
   using Completion = std::function<void(const CommandResult&)>;
 
   SsdController(Simulator& sim, const ControllerConfig& config);
+  ~SsdController();  // out-of-line: job pool types are private/incomplete
 
   /// Submit a command; `done` runs at completion time on the simulator.
   void submit(Command cmd, Completion done);
@@ -139,7 +140,17 @@ class SsdController {
   std::vector<FgRange> take_fg_ranges();
 
  private:
+  // Every lambda the controller schedules on the simulator must stay under
+  // the Simulator::Callback small-buffer limit, or each event heap-allocates
+  // again. Per-command state (the Command itself, the host completion,
+  // fan-in counters, the by-page range grouping) therefore lives in pooled
+  // job records, and the scheduled closures capture only {this, job pointer}
+  // or {this, small index} — a few machine words. Note Completion stays a
+  // std::function on purpose: at 32 bytes it nests inside a Callback capture
+  // together with a CommandResult (48 bytes total, exactly the SBO limit),
+  // which an SBO'd completion type could not.
   struct FgJob;
+  struct BlockJob;
 
   /// Ensure the page of `lba` is in the device read buffer; `ready` runs
   /// (possibly immediately) once it is. When `use_buffer` is false the page
@@ -157,6 +168,22 @@ class SsdController {
 
   void complete(Completion& done, CommandResult result);
 
+  /// Group job->cmd.ranges by page into job->by_page (sorted by Lba, ranges
+  /// in submission order within a page — the legacy std::map iteration
+  /// order). With `with_offsets`, each entry also records the byte offset
+  /// of its payload within cmd.write_data (kFgWrite).
+  void group_ranges_by_page(FgJob& job, bool with_offsets);
+
+  FgJob* acquire_fg_job(Command cmd, Completion done);
+  void release_fg_job(FgJob* job);
+  void fg_range_done(FgJob* job);
+
+  BlockJob* acquire_block_job(Command cmd, Completion done);
+  void finish_block_job(BlockJob* job);
+
+  std::uint32_t acquire_stage_slot(Simulator::Callback ready);
+  Simulator::Callback take_stage_slot(std::uint32_t slot);
+
   Simulator& sim_;
   ControllerConfig config_;
   DiskContent content_;
@@ -170,6 +197,25 @@ class SsdController {
   LruMap<Lba, char> read_buffer_;  // presence set over device DRAM pages
   ControllerStats stats_;
   std::vector<std::vector<FgRange>> fg_range_pool_;
+
+  // Command submissions parked between submit() and the firmware event.
+  struct PendingCmd {
+    Command cmd;
+    Completion done;
+  };
+  std::vector<PendingCmd> pending_cmds_;
+  std::vector<std::uint32_t> pending_free_;
+
+  // In-flight job pools (unique_ptr slabs keep job pointers stable while
+  // the free lists make the steady state allocation-free).
+  std::vector<std::unique_ptr<FgJob>> fg_job_pool_;
+  std::vector<FgJob*> fg_job_free_;
+  std::vector<std::unique_ptr<BlockJob>> block_job_pool_;
+  std::vector<BlockJob*> block_job_free_;
+
+  // Parked `ready` continuations of stage_page() NAND reads.
+  std::vector<Simulator::Callback> stage_slots_;
+  std::vector<std::uint32_t> stage_free_;
 };
 
 }  // namespace pipette

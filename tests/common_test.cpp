@@ -7,11 +7,13 @@
 #include <cmath>
 #include <future>
 #include <map>
+#include <memory>
 #include <set>
 #include <stdexcept>
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/inline_function.h"
 #include "common/lru.h"
 #include "common/rng.h"
 #include "common/stats.h"
@@ -448,14 +450,16 @@ TEST(Zipf, LowerAlphaIsFlatter) {
 
 TEST(BenchArgs, ParsesAllFlags) {
   const char* argv[] = {"prog",   "--requests", "12345",  "--seed", "9",
-                        "--quick", "--csv",     "/tmp/x.csv", "--jobs", "8"};
+                        "--quick", "--csv",     "/tmp/x.csv", "--jobs", "8",
+                        "--json", "/tmp/x.json"};
   const BenchArgs args =
-      BenchArgs::parse(10, const_cast<char**>(argv));
+      BenchArgs::parse(12, const_cast<char**>(argv));
   EXPECT_EQ(args.requests, 12345u);
   EXPECT_EQ(args.seed, 9u);
   EXPECT_TRUE(args.quick);
   EXPECT_EQ(args.csv_path, "/tmp/x.csv");
   EXPECT_EQ(args.jobs, 8u);
+  EXPECT_EQ(args.json_path, "/tmp/x.json");
 }
 
 TEST(BenchArgs, DefaultsWhenBare) {
@@ -465,7 +469,90 @@ TEST(BenchArgs, DefaultsWhenBare) {
   EXPECT_EQ(args.seed, 42u);
   EXPECT_FALSE(args.quick);
   EXPECT_TRUE(args.csv_path.empty());
+  EXPECT_TRUE(args.json_path.empty());
   EXPECT_EQ(args.jobs, 0u);  // 0 = hardware concurrency
+}
+
+// --- InlineFunction ---
+
+TEST(InlineFunction, InvokesWithArgumentsAndResult) {
+  InlineFunction<int(int, int)> f = [](int a, int b) { return a + b; };
+  ASSERT_TRUE(static_cast<bool>(f));
+  EXPECT_EQ(f(2, 3), 5);
+}
+
+TEST(InlineFunction, DefaultAndNullptrAreEmpty) {
+  InlineFunction<void()> a;
+  InlineFunction<void()> b = nullptr;
+  EXPECT_FALSE(static_cast<bool>(a));
+  EXPECT_FALSE(static_cast<bool>(b));
+}
+
+TEST(InlineFunction, MoveTransfersTargetAndEmptiesSource) {
+  int calls = 0;
+  InlineFunction<void()> f = [&calls] { ++calls; };
+  InlineFunction<void()> g = std::move(f);
+  EXPECT_FALSE(static_cast<bool>(f));
+  ASSERT_TRUE(static_cast<bool>(g));
+  g();
+  EXPECT_EQ(calls, 1);
+  f = std::move(g);  // move-assignment works both ways
+  EXPECT_FALSE(static_cast<bool>(g));
+  f();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(InlineFunction, CapturesUpToLimitStayInline) {
+  struct Small {
+    std::uint64_t a[6];  // exactly 48 bytes
+    void operator()() const {}
+  };
+  struct Big {
+    std::uint64_t a[7];  // 56 bytes: over the limit
+    void operator()() const {}
+  };
+  EXPECT_TRUE((InlineFunction<void()>::stores_inline<Small>()));
+  EXPECT_FALSE((InlineFunction<void()>::stores_inline<Big>()));
+
+  const std::uint64_t before = inline_function_heap_allocations();
+  InlineFunction<void()> small = Small{};
+  EXPECT_EQ(inline_function_heap_allocations() - before, 0u);
+  InlineFunction<void()> big = Big{};
+  EXPECT_EQ(inline_function_heap_allocations() - before, 1u);
+  small();
+  big();
+}
+
+TEST(InlineFunction, HeapTargetSurvivesMovesWithoutReallocating) {
+  struct Big {
+    std::uint64_t payload[16];
+    int* out;
+    void operator()() const { *out = static_cast<int>(payload[15]); }
+  };
+  int result = 0;
+  Big b{};
+  b.payload[15] = 77;
+  b.out = &result;
+  const std::uint64_t before = inline_function_heap_allocations();
+  InlineFunction<void()> f = b;
+  InlineFunction<void()> g = std::move(f);
+  InlineFunction<void()> h;
+  h = std::move(g);
+  EXPECT_EQ(inline_function_heap_allocations() - before, 1u);
+  h();
+  EXPECT_EQ(result, 77);
+}
+
+TEST(InlineFunction, DestroysCapturedState) {
+  auto token = std::make_shared<int>(5);
+  std::weak_ptr<int> watch = token;
+  {
+    InlineFunction<int()> f = [token] { return *token; };
+    token.reset();
+    EXPECT_FALSE(watch.expired());  // the closure keeps it alive
+    EXPECT_EQ(f(), 5);
+  }
+  EXPECT_TRUE(watch.expired());  // destroying f released the capture
 }
 
 TEST(Table, ShortRowsArePadded) {

@@ -167,7 +167,51 @@ TEST(RunExperimentsParallel, MatchesSerialFieldByField) {
     EXPECT_EQ(s.fgrc_hit_ratio, p.fgrc_hit_ratio) << "cell " << i;
     EXPECT_EQ(s.page_cache_bytes, p.page_cache_bytes) << "cell " << i;
     EXPECT_EQ(s.fgrc_bytes, p.fgrc_bytes) << "cell " << i;
+    EXPECT_EQ(s.events_executed, p.events_executed) << "cell " << i;
   }
+}
+
+// Golden equivalence across the two entry points: a fig6-style cell run
+// directly through run_experiment must match the same MachineConfig
+// round-tripped through an ExperimentCell and the parallel runner, on every
+// deterministic RunResult field (host_seconds is wall-clock and excluded).
+// This pins the DES core's event ordering: any divergence in schedule order
+// shows up as a different elapsed/latency/events_executed long before a
+// human would notice it in a table.
+TEST(RunExperimentsParallel, GoldenEquivalentToDirectRunExperiment) {
+  SyntheticConfig sc = table1_workload('C', Distribution::kUniform, 42);
+  sc.file_size = 8 * kMiB;
+  const MachineConfig mc = default_machine(PathKind::kPipette);
+  const RunConfig rc{2000, 1000};
+
+  SyntheticWorkload w(sc);
+  const RunResult direct = run_experiment(mc, w, rc);
+
+  std::vector<ExperimentCell> cells;
+  cells.push_back({mc,
+                   [sc]() -> std::unique_ptr<Workload> {
+                     return std::make_unique<SyntheticWorkload>(sc);
+                   },
+                   rc});
+  const auto via_runner = run_experiments_parallel(cells, /*jobs=*/1);
+  ASSERT_EQ(via_runner.size(), 1u);
+  const RunResult& r = via_runner[0];
+
+  EXPECT_EQ(direct.path_name, r.path_name);
+  EXPECT_EQ(direct.requests, r.requests);
+  EXPECT_EQ(direct.measured_reads, r.measured_reads);
+  EXPECT_EQ(direct.bytes_requested, r.bytes_requested);
+  EXPECT_EQ(direct.elapsed, r.elapsed);
+  EXPECT_EQ(direct.traffic_bytes, r.traffic_bytes);
+  EXPECT_EQ(direct.mean_latency_us, r.mean_latency_us);
+  EXPECT_EQ(direct.p50_latency_us, r.p50_latency_us);
+  EXPECT_EQ(direct.p99_latency_us, r.p99_latency_us);
+  EXPECT_EQ(direct.page_cache_hit_ratio, r.page_cache_hit_ratio);
+  EXPECT_EQ(direct.fgrc_hit_ratio, r.fgrc_hit_ratio);
+  EXPECT_EQ(direct.page_cache_bytes, r.page_cache_bytes);
+  EXPECT_EQ(direct.fgrc_bytes, r.fgrc_bytes);
+  EXPECT_EQ(direct.events_executed, r.events_executed);
+  EXPECT_GT(direct.events_executed, rc.requests);  // many events per request
 }
 
 TEST(RunExperimentsParallel, ReportsCompletionPerCell) {
