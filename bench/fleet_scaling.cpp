@@ -1,0 +1,177 @@
+// Fleet scaling: the synthetic mixed workload (Table 1 'C') served by a
+// fleet of 1..N sharded machines, for all five systems under both offset
+// distributions.
+//
+// What to look for:
+//  * Fleet throughput grows near-linearly with shard count under the hash
+//    partitioner and a uniform distribution (no interference between
+//    machines; the fleet makespan is set by the most-loaded shard).
+//  * Under zipf the merged p99 and the load-imbalance column show the cost
+//    of skew: the hottest shard serves disproportionate traffic, and with
+//    --partition range the spatially clustered zipf head lands on one
+//    shard, dragging the whole fleet's tail with it.
+//
+// Extra flags on top of the common set: --shards N (default: sweep 1,2,4,8)
+// and --partition hash|range. --json writes a BENCH_fleet.json-style
+// summary (per-cell host_seconds and events_executed) for perf tracking.
+#include <cstring>
+#include <vector>
+
+#include "bench_common.h"
+#include "fleet/fleet.h"
+
+using namespace pipette;
+using namespace pipette::bench;
+
+namespace {
+
+struct FleetCell {
+  Distribution dist;
+  std::size_t shards;
+  PathKind kind;
+  FleetResult result;
+};
+
+const char* dist_name(Distribution d) {
+  return d == Distribution::kUniform ? "uniform" : "zipf";
+}
+
+void write_fleet_json(const BenchArgs& args, PartitionScheme partition,
+                      const std::vector<FleetCell>& cells) {
+  if (args.json_path.empty()) return;
+  std::FILE* f = std::fopen(args.json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "pipette: cannot write JSON to %s\n",
+                 args.json_path.c_str());
+    return;
+  }
+  double total_seconds = 0.0;
+  std::uint64_t total_events = 0;
+  for (const FleetCell& c : cells) {
+    total_seconds += c.result.host_seconds;
+    total_events += c.result.events_executed;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"fleet_scaling\",\n  \"jobs\": %u,\n",
+               args.jobs);
+  std::fprintf(f, "  \"partition\": \"%s\",\n", to_string(partition));
+  std::fprintf(f, "  \"total_host_seconds\": %.6f,\n", total_seconds);
+  std::fprintf(f, "  \"total_events_executed\": %llu,\n",
+               static_cast<unsigned long long>(total_events));
+  std::fprintf(f, "  \"events_per_sec\": %.0f,\n",
+               total_seconds > 0.0
+                   ? static_cast<double>(total_events) / total_seconds
+                   : 0.0);
+  std::fprintf(f, "  \"cells\": [\n");
+  bool first = true;
+  for (const FleetCell& c : cells) {
+    std::fprintf(f,
+                 "%s    {\"dist\": \"%s\", \"shards\": %zu, \"system\": "
+                 "\"%s\", \"fleet_rps\": %.0f, \"p99_us\": %.6f, "
+                 "\"load_imbalance\": %.6f, \"host_seconds\": %.6f, "
+                 "\"events_executed\": %llu}",
+                 first ? "" : ",\n", dist_name(c.dist), c.shards,
+                 short_name(c.kind), c.result.requests_per_sec(),
+                 c.result.p99_latency_us, c.result.load_imbalance,
+                 c.result.host_seconds,
+                 static_cast<unsigned long long>(c.result.events_executed));
+    first = false;
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Peel off the fleet-specific flags, hand the rest to the common parser.
+  std::size_t shards_flag = 0;  // 0 = sweep
+  PartitionScheme partition = PartitionScheme::kHash;
+  std::vector<char*> rest{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shards_flag = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--partition") == 0 && i + 1 < argc) {
+      ++i;
+      partition = std::strcmp(argv[i], "range") == 0
+                      ? PartitionScheme::kRange
+                      : PartitionScheme::kHash;
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  const BenchArgs args =
+      BenchArgs::parse(static_cast<int>(rest.size()), rest.data());
+  const Scale scale = Scale::from_args(args);
+  print_header("Fleet scaling — Table 1 'C', sharded fleet", scale);
+  std::printf("(partitioner: %s; requests are fleet-wide totals)\n\n",
+              to_string(partition));
+
+  const std::vector<std::size_t> shard_counts =
+      shards_flag != 0 ? std::vector<std::size_t>{shards_flag}
+                       : std::vector<std::size_t>{1, 2, 4, 8};
+
+  std::vector<FleetCell> cells;
+  for (Distribution dist : {Distribution::kUniform, Distribution::kZipf}) {
+    for (std::size_t shards : shard_counts) {
+      for (PathKind kind : kAllPaths) {
+        FleetConfig fleet;
+        fleet.shards = shards;
+        fleet.partition = partition;
+        fleet.machine = default_machine(kind);
+        const std::uint64_t seed = args.seed;
+        FleetRunner runner(
+            fleet,
+            [dist](std::uint64_t s) -> std::unique_ptr<Workload> {
+              return std::make_unique<SyntheticWorkload>(
+                  table1_workload('C', dist, s));
+            },
+            seed);
+        cells.push_back(
+            {dist, shards, kind, runner.run(scale.run(), args.jobs)});
+        const FleetResult& r = cells.back().result;
+        std::fprintf(stderr,
+                     "  [%s] %-18s x%zu done (%.2f Mreq/s fleet, p99 %.2f "
+                     "us, imb %.2f, %.1fs host)\n",
+                     dist_name(dist), short_name(kind), shards,
+                     r.requests_per_sec() / 1e6, r.p99_latency_us,
+                     r.load_imbalance, r.host_seconds);
+      }
+    }
+  }
+
+  for (Distribution dist : {Distribution::kUniform, Distribution::kZipf}) {
+    std::vector<std::string> headers{"System"};
+    for (std::size_t shards : shard_counts)
+      headers.push_back("x" + std::to_string(shards));
+    std::printf("-- %s: fleet throughput (Mreq/s) --\n", dist_name(dist));
+    Table rps(headers);
+    Table p99(headers);
+    Table imb(headers);
+    for (PathKind kind : kAllPaths) {
+      std::vector<std::string> rps_row{short_name(kind)};
+      std::vector<std::string> p99_row{short_name(kind)};
+      std::vector<std::string> imb_row{short_name(kind)};
+      for (const FleetCell& c : cells) {
+        if (c.dist != dist || c.kind != kind) continue;
+        rps_row.push_back(Table::fmt(c.result.requests_per_sec() / 1e6, 2));
+        p99_row.push_back(Table::fmt(c.result.p99_latency_us, 2));
+        imb_row.push_back(Table::fmt(c.result.load_imbalance, 2));
+      }
+      rps.add_row(std::move(rps_row));
+      p99.add_row(std::move(p99_row));
+      imb.add_row(std::move(imb_row));
+    }
+    std::fputs(rps.to_text().c_str(), stdout);
+    std::printf("\n-- %s: merged cross-shard p99 (us) --\n", dist_name(dist));
+    std::fputs(p99.to_text().c_str(), stdout);
+    std::printf("\n-- %s: load imbalance (max/mean shard requests) --\n",
+                dist_name(dist));
+    std::fputs(imb.to_text().c_str(), stdout);
+    std::printf("\n");
+    if (!args.csv_path.empty() && dist == Distribution::kUniform)
+      rps.write_csv(args.csv_path);
+  }
+
+  write_fleet_json(args, partition, cells);
+  return 0;
+}

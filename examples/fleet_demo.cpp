@@ -1,0 +1,72 @@
+// Fleet demo: one zipfian fine-grained workload served by a 4-machine
+// sharded fleet, under both partitioning schemes.
+//
+//   $ ./examples/fleet_demo
+//
+// Shows the fleet API end to end: FleetConfig -> FleetRunner -> FleetResult,
+// per-shard load and cache behaviour, and why partitioning choice matters —
+// the zipf head of the paper's synthetic workloads is spatially clustered at
+// the start of the file, so range partitioning sends nearly all traffic to
+// shard 0 while hash partitioning spreads it.
+#include <cstdio>
+#include <memory>
+
+#include "fleet/fleet.h"
+#include "workload/synthetic.h"
+
+using namespace pipette;
+
+namespace {
+
+FleetResult run_with(PartitionScheme partition) {
+  FleetConfig fleet;
+  fleet.shards = 4;
+  fleet.partition = partition;
+  fleet.machine = default_machine(PathKind::kPipette);
+
+  // Workload E: pure 128-byte reads, zipf(0.8) offsets — Pipette's home
+  // turf. Every shard holds the file set and serves its own key range.
+  FleetRunner runner(
+      fleet,
+      [](std::uint64_t seed) -> std::unique_ptr<Workload> {
+        return std::make_unique<SyntheticWorkload>(
+            table1_workload('E', Distribution::kZipf, seed));
+      },
+      /*workload_seed=*/42);
+  return runner.run({/*requests=*/60'000, /*warmup=*/30'000});
+}
+
+void report(const char* title, const FleetResult& r) {
+  std::printf("== %s ==\n", title);
+  for (std::size_t s = 0; s < r.shard_results.size(); ++s) {
+    const RunResult& shard = r.shard_results[s];
+    std::printf(
+        "  shard %zu: %7llu reqs  mean %6.2f us  p99 %7.2f us  FGRC hit "
+        "%4.1f%%\n",
+        s, static_cast<unsigned long long>(shard.requests),
+        shard.mean_latency_us, shard.p99_latency_us,
+        100.0 * shard.fgrc_hit_ratio);
+  }
+  std::printf(
+      "  fleet: %.2f Mreq/s  merged p99 %.2f us  imbalance %.2fx "
+      "(hottest shard %zu at %.1f%% FGRC hit)\n\n",
+      r.requests_per_sec() / 1e6, r.p99_latency_us, r.load_imbalance,
+      r.hottest_shard, 100.0 * r.hottest_shard_fgrc_hit_ratio);
+}
+
+}  // namespace
+
+int main() {
+  // Hash partitioning scatters the zipf head across the fleet.
+  report("hash partitioning", run_with(PartitionScheme::kHash));
+
+  // Range partitioning keeps key ranges contiguous — and hands the
+  // clustered hot head to shard 0, which then bounds the fleet tail.
+  report("range partitioning", run_with(PartitionScheme::kRange));
+
+  std::printf(
+      "Same seed, same per-key request sequence in both runs; only the\n"
+      "key->shard mapping changed. See bench/fleet_scaling for the full\n"
+      "shards x distribution x system matrix.\n");
+  return 0;
+}

@@ -22,9 +22,15 @@ inline std::uint64_t rotl(std::uint64_t x, int k) {
 }
 }  // namespace
 
-Rng::Rng(std::uint64_t seed) {
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
   std::uint64_t sm = seed;
   for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::split_seed(std::uint64_t seed, std::uint64_t stream) {
+  // Two SplitMix64 rounds over a (seed, stream) combination keep child seeds
+  // well separated even for adjacent stream ids and correlated parent seeds.
+  return mix64(seed ^ mix64(stream ^ 0x5851f42d4c957f2dULL));
 }
 
 std::uint64_t Rng::next() {

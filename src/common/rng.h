@@ -22,6 +22,18 @@ class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
 
+  /// The seed of sub-stream `stream` of the generator seeded with `seed`.
+  /// Pure function of (seed, stream): the fleet layer uses it to hand every
+  /// shard an independent, replayable workload stream derived from one
+  /// fleet-level seed.
+  static std::uint64_t split_seed(std::uint64_t seed, std::uint64_t stream);
+
+  /// Splittable-RNG child: an independent generator for sub-stream `stream`,
+  /// derived from this generator's *seed* (not its current position), so the
+  /// same parent always yields the same children no matter how much either
+  /// has drawn.
+  Rng split(std::uint64_t stream) const { return Rng(split_seed(seed_, stream)); }
+
   /// Uniform 64-bit value.
   std::uint64_t next();
 
@@ -38,6 +50,7 @@ class Rng {
   bool next_bool(double p);
 
  private:
+  std::uint64_t seed_;
   std::uint64_t s_[4];
 };
 

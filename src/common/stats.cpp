@@ -4,6 +4,7 @@
 #include <bit>
 #include <cmath>
 #include <cstdio>
+#include <ostream>
 
 #include "common/assert.h"
 
@@ -127,6 +128,16 @@ SimDuration LatencyHistogram::percentile(double p) const {
     if (seen >= target && seen > 0) return bucket_value(i);
   }
   return max_;
+}
+
+bool LatencyHistogram::operator==(const LatencyHistogram& other) const {
+  return count_ == other.count_ && total_ns_ == other.total_ns_ &&
+         min_ == other.min_ && max_ == other.max_ &&
+         buckets_ == other.buckets_;
+}
+
+std::ostream& operator<<(std::ostream& os, const LatencyHistogram& h) {
+  return os << h.summary();
 }
 
 std::string LatencyHistogram::summary() const {

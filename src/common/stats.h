@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -88,6 +89,15 @@ class LatencyHistogram {
   /// Human-readable one-line summary (mean/p50/p99/max in µs).
   std::string summary() const;
 
+  /// Exact bucket-level equality — two histograms that recorded the same
+  /// multiset of durations compare equal. This is what lets determinism
+  /// tests assert bit-identical latency distributions, not just matching
+  /// percentile readouts.
+  bool operator==(const LatencyHistogram& other) const;
+  bool operator!=(const LatencyHistogram& other) const {
+    return !(*this == other);
+  }
+
  private:
   static constexpr int kSubBucketBits = 4;  // 16 sub-buckets per octave
   static constexpr int kSubBuckets = 1 << kSubBucketBits;
@@ -102,5 +112,8 @@ class LatencyHistogram {
   SimDuration min_ = 0;
   SimDuration max_ = 0;
 };
+
+/// Prints summary(); gives gtest failures a readable rendering.
+std::ostream& operator<<(std::ostream& os, const LatencyHistogram& h);
 
 }  // namespace pipette

@@ -1,0 +1,150 @@
+#include "fleet/fleet.h"
+
+#include <algorithm>
+#include <chrono>
+#include <future>
+#include <utility>
+
+#include "common/assert.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "fleet/shard_workload.h"
+
+namespace pipette {
+
+const char* to_string(SubstreamMode mode) {
+  switch (mode) {
+    case SubstreamMode::kPartitioned:
+      return "partitioned";
+    case SubstreamMode::kIndependent:
+      return "independent";
+  }
+  return "?";
+}
+
+bool deterministic_equal(const FleetResult& a, const FleetResult& b) {
+  if (a.Deterministic() != b.Deterministic()) return false;
+  if (a.shard_results.size() != b.shard_results.size()) return false;
+  for (std::size_t s = 0; s < a.shard_results.size(); ++s) {
+    if (a.shard_results[s].Deterministic() !=
+        b.shard_results[s].Deterministic())
+      return false;
+  }
+  return true;
+}
+
+Shard::Shard(std::size_t index, const MachineConfig& config,
+             std::span<const FileSpec> files)
+    : index_(index), machine_(config, files) {}
+
+RunResult Shard::run(Workload& sub_stream, const RunConfig& plan) {
+  return run_experiment_on(machine_, sub_stream, plan);
+}
+
+FleetRunner::FleetRunner(FleetConfig config,
+                         SeededWorkloadFactory make_workload,
+                         std::uint64_t workload_seed)
+    : config_(std::move(config)),
+      make_workload_(std::move(make_workload)),
+      seed_(workload_seed) {
+  PIPETTE_ASSERT(config_.shards > 0);
+  PIPETTE_ASSERT_MSG(config_.shard_machines.empty() ||
+                         config_.shard_machines.size() == config_.shards,
+                     "shard_machines must be empty or one per shard");
+  PIPETTE_ASSERT(make_workload_ != nullptr);
+}
+
+MachineConfig FleetRunner::shard_machine(std::size_t shard) const {
+  return config_.shard_machines.empty() ? config_.machine
+                                        : config_.shard_machines[shard];
+}
+
+FleetResult FleetRunner::run(const RunConfig& run, unsigned jobs) const {
+  const auto host_t0 = std::chrono::steady_clock::now();
+  const std::size_t shards = config_.shards;
+  const bool partitioned = config_.substream == SubstreamMode::kPartitioned;
+
+  // Per-shard phase sizes. Partitioned mode takes them from a counting
+  // pre-pass over the master stream — pure RNG work, no simulation — so
+  // every shard's warmup/measured boundary lands exactly on the fleet-wide
+  // one. Independent mode gives every replica the full counts.
+  std::vector<RunConfig> plans(shards, partitioned ? RunConfig{0, 0} : run);
+  if (partitioned) {
+    std::unique_ptr<Workload> master = make_workload_(seed_);
+    PIPETTE_ASSERT_MSG(master != nullptr, "fleet workload factory failed");
+    const Partitioner part(config_.partition, shards, master->files());
+    for (std::uint64_t i = 0; i < run.warmup; ++i)
+      ++plans[part.shard_of(master->next())].warmup;
+    for (std::uint64_t i = 0; i < run.requests; ++i)
+      ++plans[part.shard_of(master->next())].requests;
+  }
+
+  std::vector<RunResult> shard_results(shards);
+  auto run_shard = [&](std::size_t s) {
+    const std::uint64_t shard_seed =
+        partitioned ? seed_ : Rng::split_seed(seed_, s);
+    std::unique_ptr<Workload> master = make_workload_(shard_seed);
+    PIPETTE_ASSERT_MSG(master != nullptr, "fleet workload factory failed");
+    if (partitioned) {
+      const Partitioner part(config_.partition, shards, master->files());
+      ShardWorkload sub(std::move(master), part, s);
+      Shard shard(s, shard_machine(s), sub.files());
+      shard_results[s] = shard.run(sub, plans[s]);
+    } else {
+      Shard shard(s, shard_machine(s), master->files());
+      shard_results[s] = shard.run(*master, plans[s]);
+    }
+  };
+
+  if (jobs == 0) jobs = ThreadPool::default_threads();
+  if (jobs == 1 || shards <= 1) {
+    for (std::size_t s = 0; s < shards; ++s) run_shard(s);
+  } else {
+    ThreadPool pool(
+        static_cast<unsigned>(std::min<std::size_t>(jobs, shards)));
+    std::vector<std::future<void>> pending;
+    pending.reserve(shards);
+    for (std::size_t s = 0; s < shards; ++s)
+      pending.push_back(pool.submit([&run_shard, s] { run_shard(s); }));
+    for (std::future<void>& f : pending) f.get();  // rethrows task failures
+  }
+
+  FleetResult out;
+  out.shard_results = std::move(shard_results);
+  out.min_shard_requests = ~0ull;
+  for (std::size_t s = 0; s < shards; ++s) {
+    const RunResult& r = out.shard_results[s];
+    out.requests += r.requests;
+    out.measured_reads += r.measured_reads;
+    out.bytes_requested += r.bytes_requested;
+    out.traffic_bytes += r.traffic_bytes;
+    out.events_executed += r.events_executed;
+    out.makespan = std::max(out.makespan, r.elapsed);
+    out.latency.merge(r.read_latency);
+    if (r.requests > out.max_shard_requests) {
+      out.max_shard_requests = r.requests;
+      out.hottest_shard = s;
+    }
+    out.min_shard_requests = std::min(out.min_shard_requests, r.requests);
+  }
+  if (out.latency.count() > 0) {
+    out.mean_latency_us = out.latency.mean_ns() / 1e3;
+    out.p50_latency_us = to_us(out.latency.percentile(50));
+    out.p99_latency_us = to_us(out.latency.percentile(99));
+  }
+  out.mean_shard_requests =
+      static_cast<double>(out.requests) / static_cast<double>(shards);
+  out.load_imbalance =
+      out.mean_shard_requests == 0.0
+          ? 0.0
+          : static_cast<double>(out.max_shard_requests) /
+                out.mean_shard_requests;
+  out.hottest_shard_fgrc_hit_ratio =
+      out.shard_results[out.hottest_shard].fgrc_hit_ratio;
+  out.host_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - host_t0)
+          .count();
+  return out;
+}
+
+}  // namespace pipette

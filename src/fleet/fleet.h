@@ -1,0 +1,180 @@
+// Fleet simulation layer: many machines serving one partitioned workload.
+//
+// The paper's evaluation (§4) runs one host against one SSD. Deployments of
+// the applications it targets — recommendation inference, social-graph
+// serving — shard the dataset across a fleet of such machines, and fleet
+// behaviour (skewed shard load, divergent per-shard cache hit ratios, tail
+// latency set by the hottest shard) is qualitatively different from any
+// single-machine result. This layer simulates exactly that:
+//
+//  * Shard       — one Machine (and with it a private Simulator) plus the
+//                  shard's index; runs its sub-stream to a RunResult.
+//  * FleetConfig — shard count, key->shard partitioning scheme, the base
+//                  MachineConfig and optional per-shard overrides.
+//  * FleetRunner — fans the shards across a ThreadPool and aggregates a
+//                  FleetResult.
+//
+// Determinism contract (what fleet_test pins):
+//  * Same seed => bit-identical FleetResult, at any job count. Shards never
+//    share mutable state; each one is a self-contained simulation.
+//  * In kPartitioned mode every shard replays the same master stream
+//    (splittable-RNG seeding keeps it a pure function of the fleet seed)
+//    and serves only its keys, so a k-shard fleet serves exactly the
+//    per-key request sequence of the 1-shard run — and a 1-shard fleet IS
+//    the single-machine experiment, field for field.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "fleet/partition.h"
+#include "sim/experiment.h"
+
+namespace pipette {
+
+/// Constructs a workload from a seed. Called once per shard (plus once for
+/// the partitioned-mode counting pre-pass); every call with the same seed
+/// must yield an identical stream.
+using SeededWorkloadFactory =
+    std::function<std::unique_ptr<Workload>(std::uint64_t seed)>;
+
+/// How shard sub-streams derive from the fleet workload seed.
+enum class SubstreamMode {
+  /// Every shard replays the master stream (same seed) and serves the
+  /// requests its partitioner maps to it: one dataset partitioned across
+  /// the fleet. Request counts per shard follow the key popularity.
+  kPartitioned,
+  /// Shard s runs its own full stream seeded with Rng::split_seed(seed, s):
+  /// k independent replicas each facing private traffic (a replicated tier
+  /// behind a random load balancer). The partitioner is not consulted.
+  kIndependent,
+};
+
+const char* to_string(SubstreamMode mode);
+
+struct FleetConfig {
+  std::size_t shards = 1;
+  PartitionScheme partition = PartitionScheme::kHash;
+  SubstreamMode substream = SubstreamMode::kPartitioned;
+  /// Base machine for every shard.
+  MachineConfig machine;
+  /// Optional per-shard overrides: empty, or exactly one entry per shard
+  /// (heterogeneous fleets: a straggler shard, mixed path kinds, ...).
+  std::vector<MachineConfig> shard_machines;
+};
+
+struct FleetResult {
+  std::vector<RunResult> shard_results;  // one per shard, in shard order
+
+  // Fleet-wide totals over the measured phase (sums across shards).
+  std::uint64_t requests = 0;
+  std::uint64_t measured_reads = 0;
+  std::uint64_t bytes_requested = 0;
+  std::uint64_t traffic_bytes = 0;
+  std::uint64_t events_executed = 0;  // warmup + measurement, all shards
+
+  /// Simulated makespan of the measured phase: the slowest shard's elapsed
+  /// time. Shards run concurrently in a real deployment, so fleet
+  /// throughput is total work over this, not over the sum.
+  SimDuration makespan = 0;
+
+  /// Cross-shard read-latency distribution: the per-shard measured-phase
+  /// histograms merged bucket-wise. The percentiles below are percentiles
+  /// of this merged distribution — averaging per-shard percentile readouts
+  /// would understate the tail whenever one shard runs hot.
+  LatencyHistogram latency;
+  double mean_latency_us = 0.0;
+  double p50_latency_us = 0.0;
+  double p99_latency_us = 0.0;
+
+  // Load imbalance over measured requests.
+  std::uint64_t max_shard_requests = 0;
+  std::uint64_t min_shard_requests = 0;
+  double mean_shard_requests = 0.0;
+  /// max/mean shard requests; 1.0 = perfectly balanced.
+  double load_imbalance = 0.0;
+  /// First shard with max_shard_requests, and its FGRC hit ratio — under
+  /// skew the hottest shard's cache behaviour bounds fleet tail latency.
+  std::size_t hottest_shard = 0;
+  double hottest_shard_fgrc_hit_ratio = 0.0;
+
+  /// Host wall-clock for the whole fleet run. Nondeterministic; excluded
+  /// from Deterministic() and deterministic_equal().
+  double host_seconds = 0.0;
+
+  double requests_per_sec() const {
+    return makespan == 0 ? 0.0
+                         : static_cast<double>(requests) /
+                               (static_cast<double>(makespan) / 1e9);
+  }
+  double throughput_mib_s() const {
+    return makespan == 0
+               ? 0.0
+               : static_cast<double>(bytes_requested) / (1024.0 * 1024.0) /
+                     (static_cast<double>(makespan) / 1e9);
+  }
+
+  /// Every deterministic aggregate as one comparable tuple (per-shard
+  /// results are covered by deterministic_equal(), which also walks
+  /// shard_results).
+  auto Deterministic() const {
+    return std::tie(requests, measured_reads, bytes_requested, traffic_bytes,
+                    events_executed, makespan, latency, mean_latency_us,
+                    p50_latency_us, p99_latency_us, max_shard_requests,
+                    min_shard_requests, mean_shard_requests, load_imbalance,
+                    hottest_shard, hottest_shard_fgrc_hit_ratio);
+  }
+};
+
+/// True iff every deterministic field of the two results matches — the
+/// aggregates and each shard's RunResult::Deterministic().
+bool deterministic_equal(const FleetResult& a, const FleetResult& b);
+
+/// One machine of the fleet. Owns the Machine — and through it a private
+/// Simulator — so shards can run concurrently without sharing any state.
+class Shard {
+ public:
+  Shard(std::size_t index, const MachineConfig& config,
+        std::span<const FileSpec> files);
+
+  std::size_t index() const { return index_; }
+  Machine& machine() { return machine_; }
+
+  /// Drive `sub_stream` through this shard's machine: `plan.warmup` cache-
+  /// warming requests, then `plan.requests` measured ones.
+  RunResult run(Workload& sub_stream, const RunConfig& plan);
+
+ private:
+  std::size_t index_;
+  Machine machine_;
+};
+
+class FleetRunner {
+ public:
+  /// `workload_seed` is the fleet-level seed; how per-shard streams derive
+  /// from it is config.substream's choice.
+  FleetRunner(FleetConfig config, SeededWorkloadFactory make_workload,
+              std::uint64_t workload_seed);
+
+  /// Run the fleet. `run` counts the fleet-wide stream: the first
+  /// run.warmup master requests are warmup, the next run.requests are
+  /// measured — each shard receives its share of both phases (exact counts
+  /// come from a counting pre-pass over the master stream). `jobs` = worker
+  /// threads for fanning shards (0 = hardware concurrency, 1 = serial);
+  /// results are bit-identical at any job count.
+  FleetResult run(const RunConfig& run, unsigned jobs = 0) const;
+
+  const FleetConfig& config() const { return config_; }
+
+ private:
+  MachineConfig shard_machine(std::size_t shard) const;
+
+  FleetConfig config_;
+  SeededWorkloadFactory make_workload_;
+  std::uint64_t seed_;
+};
+
+}  // namespace pipette

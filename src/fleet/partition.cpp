@@ -1,0 +1,53 @@
+#include "fleet/partition.h"
+
+#include "common/assert.h"
+#include "common/rng.h"
+
+namespace pipette {
+
+const char* to_string(PartitionScheme scheme) {
+  switch (scheme) {
+    case PartitionScheme::kHash:
+      return "hash";
+    case PartitionScheme::kRange:
+      return "range";
+  }
+  return "?";
+}
+
+Partitioner::Partitioner(PartitionScheme scheme, std::size_t shards,
+                         std::span<const FileSpec> files)
+    : scheme_(scheme), shards_(shards) {
+  PIPETTE_ASSERT(shards_ > 0);
+  PIPETTE_ASSERT(!files.empty());
+  file_base_.reserve(files.size());
+  std::uint64_t base = 0;
+  for (const FileSpec& f : files) {
+    file_base_.push_back(base);
+    base += f.size;
+  }
+  keyspace_ = base;
+  PIPETTE_ASSERT(keyspace_ > 0);
+}
+
+std::uint64_t Partitioner::key_of(const Request& req) const {
+  PIPETTE_ASSERT(req.file_index < file_base_.size());
+  return file_base_[req.file_index] + req.offset;
+}
+
+std::size_t Partitioner::shard_of_key(std::uint64_t key) const {
+  PIPETTE_ASSERT(key < keyspace_);
+  if (shards_ == 1) return 0;
+  switch (scheme_) {
+    case PartitionScheme::kHash:
+      return static_cast<std::size_t>(mix64(key) % shards_);
+    case PartitionScheme::kRange:
+      // 128-bit intermediate: key * shards overflows 64 bits for large
+      // keyspaces.
+      return static_cast<std::size_t>(
+          static_cast<__uint128_t>(key) * shards_ / keyspace_);
+  }
+  return 0;
+}
+
+}  // namespace pipette

@@ -1,0 +1,56 @@
+// Key -> shard partitioning for the fleet layer.
+//
+// A request's key is its global byte position: the byte offset within its
+// file plus the cumulative size of every file before it, so one flat
+// keyspace covers multi-file workloads. Two schemes mirror the standard
+// deployment choices:
+//
+//  * kHash  — shard = mix64(key) mod shards. Spreads any access pattern
+//    (including a zipfian head clustered at the start of the keyspace)
+//    near-uniformly; destroys range locality.
+//  * kRange — shard = key * shards / keyspace. Contiguous key ranges stay
+//    together (each shard owns one slice of the address space), which
+//    preserves spatial locality per shard but concentrates skewed traffic
+//    on whichever shard owns the hot range.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "workload/workload.h"
+
+namespace pipette {
+
+enum class PartitionScheme { kHash, kRange };
+
+const char* to_string(PartitionScheme scheme);
+
+class Partitioner {
+ public:
+  /// `files` fixes the keyspace layout; it must match the workload the
+  /// partitioner will route (every shard holds the same file set).
+  Partitioner(PartitionScheme scheme, std::size_t shards,
+              std::span<const FileSpec> files);
+
+  PartitionScheme scheme() const { return scheme_; }
+  std::size_t shards() const { return shards_; }
+  /// Total bytes across all files — the exclusive upper bound on keys.
+  std::uint64_t keyspace() const { return keyspace_; }
+
+  /// The request's global byte key (file base + offset).
+  std::uint64_t key_of(const Request& req) const;
+
+  std::size_t shard_of_key(std::uint64_t key) const;
+  std::size_t shard_of(const Request& req) const {
+    return shard_of_key(key_of(req));
+  }
+
+ private:
+  PartitionScheme scheme_;
+  std::size_t shards_;
+  std::vector<std::uint64_t> file_base_;  // cumulative start of each file
+  std::uint64_t keyspace_;
+};
+
+}  // namespace pipette

@@ -1,0 +1,31 @@
+#include "fleet/shard_workload.h"
+
+#include <utility>
+
+#include "common/assert.h"
+
+namespace pipette {
+
+ShardWorkload::ShardWorkload(std::unique_ptr<Workload> master,
+                             Partitioner partitioner, std::size_t shard)
+    : master_(std::move(master)),
+      partitioner_(std::move(partitioner)),
+      shard_(shard) {
+  PIPETTE_ASSERT(master_ != nullptr);
+  PIPETTE_ASSERT(shard_ < partitioner_.shards());
+}
+
+Request ShardWorkload::next() {
+  for (;;) {
+    Request req = master_->next();
+    ++master_consumed_;
+    if (partitioner_.shard_of(req) == shard_) return req;
+  }
+}
+
+std::string ShardWorkload::name() const {
+  return master_->name() + "/shard" + std::to_string(shard_) + "of" +
+         std::to_string(partitioner_.shards());
+}
+
+}  // namespace pipette

@@ -1,0 +1,51 @@
+// ShardWorkload: the sub-stream of a master workload that belongs to one
+// shard.
+//
+// Every shard replays the *same* master stream (the master workload is a
+// pure function of its seed) and yields only the requests whose key the
+// partitioner maps to this shard. Because all shards filter one identical
+// stream, a k-shard fleet serves exactly the per-key request sequence of the
+// 1-shard run — partitioning changes who serves a request, never which
+// requests exist or their per-key order. This is the property every fleet
+// determinism test leans on.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "fleet/partition.h"
+#include "workload/workload.h"
+
+namespace pipette {
+
+class ShardWorkload : public Workload {
+ public:
+  /// Takes its own master instance (each shard constructs one from the
+  /// shared seed) and a copy of the fleet's partitioner.
+  ShardWorkload(std::unique_ptr<Workload> master, Partitioner partitioner,
+                std::size_t shard);
+
+  const std::vector<FileSpec>& files() const override {
+    return master_->files();
+  }
+
+  /// Draws from the master stream until a request for this shard appears.
+  /// The caller must not draw more requests than the master stream contains
+  /// for this shard (the fleet runner sizes each shard's RunConfig from a
+  /// counting pre-pass, so this holds by construction).
+  Request next() override;
+
+  std::string name() const override;
+
+  std::size_t shard() const { return shard_; }
+  /// Master draws consumed so far (foreign-shard requests included).
+  std::uint64_t master_consumed() const { return master_consumed_; }
+
+ private:
+  std::unique_ptr<Workload> master_;
+  Partitioner partitioner_;
+  std::size_t shard_;
+  std::uint64_t master_consumed_ = 0;
+};
+
+}  // namespace pipette

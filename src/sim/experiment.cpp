@@ -12,8 +12,13 @@ namespace pipette {
 
 RunResult run_experiment(const MachineConfig& config, Workload& workload,
                          const RunConfig& run) {
-  const auto host_t0 = std::chrono::steady_clock::now();
   Machine machine(config, workload.files());
+  return run_experiment_on(machine, workload, run);
+}
+
+RunResult run_experiment_on(Machine& machine, Workload& workload,
+                            const RunConfig& run) {
+  const auto host_t0 = std::chrono::steady_clock::now();
   Vfs& vfs = machine.vfs();
 
   std::vector<int> fds;
@@ -59,13 +64,13 @@ RunResult run_experiment(const MachineConfig& config, Workload& workload,
   // Measured-phase latency distribution: subtract the warmup snapshot
   // bucket-wise, so mean and percentiles all describe exactly the measured
   // requests.
-  const LatencyHistogram measured =
-      machine.path().stats().read_latency.diff(lat0);
+  LatencyHistogram measured = machine.path().stats().read_latency.diff(lat0);
   if (measured.count() > 0) {
     result.mean_latency_us = measured.mean_ns() / 1e3;
     result.p50_latency_us = to_us(measured.percentile(50));
     result.p99_latency_us = to_us(measured.percentile(99));
   }
+  result.read_latency = std::move(measured);
 
   if (PageCache* pc = machine.page_cache()) {
     const auto& now = pc->stats().lookups;

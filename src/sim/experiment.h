@@ -12,8 +12,10 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <tuple>
 #include <vector>
 
+#include "common/stats.h"
 #include "sim/machine.h"
 #include "workload/workload.h"
 
@@ -41,6 +43,12 @@ struct RunResult {
   std::uint64_t page_cache_bytes = 0;  // resident at end of run
   std::uint64_t fgrc_bytes = 0;        // FGRC memory at end of run
 
+  /// Full measured-phase read-latency distribution (the histogram behind
+  /// mean/p50/p99 above). Kept so a fleet of runs can merge distributions
+  /// bucket-wise and report true cross-shard percentiles instead of
+  /// averaging per-shard percentile readouts.
+  LatencyHistogram read_latency;
+
   /// Simulator events executed over the whole cell (warmup + measurement).
   /// Deterministic; together with host_seconds it tracks the DES core's
   /// events/sec across PRs (see bench/des_microbench).
@@ -50,6 +58,20 @@ struct RunResult {
   /// The only nondeterministic field: excluded from serial/parallel
   /// equivalence comparisons.
   double host_seconds = 0.0;
+
+  /// Every deterministic field as one comparable (and gtest-printable)
+  /// tuple — host_seconds is wall-clock and deliberately absent.
+  /// Equivalence tests assert
+  ///   EXPECT_EQ(a.Deterministic(), b.Deterministic())
+  /// instead of repeating field-by-field boilerplate that silently rots
+  /// when a field is added.
+  auto Deterministic() const {
+    return std::tie(path_name, requests, measured_reads, bytes_requested,
+                    elapsed, traffic_bytes, mean_latency_us, p50_latency_us,
+                    p99_latency_us, page_cache_hit_ratio, fgrc_hit_ratio,
+                    page_cache_bytes, fgrc_bytes, read_latency,
+                    events_executed);
+  }
 
   double requests_per_sec() const {
     return elapsed == 0 ? 0.0
@@ -68,6 +90,14 @@ struct RunResult {
 /// measurement, and return the measured metrics.
 RunResult run_experiment(const MachineConfig& config, Workload& workload,
                          const RunConfig& run);
+
+/// The same warmup + measurement flow on a caller-owned machine. This is
+/// what the fleet layer drives: each Shard owns its Machine (and with it a
+/// private Simulator) and pushes its sub-stream through it. The machine is
+/// expected to be freshly built for `workload.files()`; reusing a machine
+/// across runs measures the second run against pre-warmed caches.
+RunResult run_experiment_on(Machine& machine, Workload& workload,
+                            const RunConfig& run);
 
 /// One independent cell of an experiment matrix. The workload is constructed
 /// *inside* the task (each cell gets a fresh, deterministically seeded

@@ -1,0 +1,134 @@
+// Golden-trace regression tripwire: one fixed experiment cell per path kind
+// (Table 1 'C', uniform, 20k measured requests over a 32 MiB file), with
+// every deterministic RunResult field pinned to a checked-in JSON fixture.
+//
+// Any change to simulator behaviour — event ordering, timing constants,
+// cache policy, RNG consumption — shows up here as a one-line diff long
+// before a human would notice it in a benchmark table. Future PRs run this
+// as their seed-parity gate: an intentional behaviour change regenerates
+// the fixture (and says so in review); an unintentional one fails loudly.
+//
+// Regenerate with:
+//   PIPETTE_UPDATE_GOLDEN=1 ./tests/golden_test
+// which rewrites tests/golden/golden_trace.json in the source tree.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.h"
+#include "workload/synthetic.h"
+
+#ifndef GOLDEN_TRACE_PATH
+#error "GOLDEN_TRACE_PATH must point at the checked-in fixture"
+#endif
+
+namespace pipette {
+namespace {
+
+constexpr std::uint64_t kSeed = 42;
+constexpr std::uint64_t kFileMiB = 32;
+constexpr std::uint64_t kWarmup = 5'000;
+constexpr std::uint64_t kRequests = 20'000;
+
+// %.17g round-trips every double exactly, so string equality on the
+// rendered fixture is bit-equality on the values.
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string fmt(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string render_golden() {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"workload\": \"table1-C-uniform\",\n";
+  out << "  \"file_mib\": " << kFileMiB << ",\n";
+  out << "  \"seed\": " << kSeed << ",\n";
+  out << "  \"warmup\": " << kWarmup << ",\n";
+  out << "  \"requests\": " << kRequests << ",\n";
+  out << "  \"cells\": [\n";
+  bool first = true;
+  for (PathKind kind : kAllPaths) {
+    SyntheticConfig sc = table1_workload('C', Distribution::kUniform, kSeed);
+    sc.file_size = kFileMiB * kMiB;
+    SyntheticWorkload workload(sc);
+    const RunResult r =
+        run_experiment(default_machine(kind), workload, {kRequests, kWarmup});
+    if (!first) out << ",\n";
+    first = false;
+    out << "    {\n";
+    out << "      \"path\": \"" << r.path_name << "\",\n";
+    out << "      \"requests\": " << fmt(r.requests) << ",\n";
+    out << "      \"measured_reads\": " << fmt(r.measured_reads) << ",\n";
+    out << "      \"bytes_requested\": " << fmt(r.bytes_requested) << ",\n";
+    out << "      \"elapsed_ns\": " << fmt(r.elapsed) << ",\n";
+    out << "      \"traffic_bytes\": " << fmt(r.traffic_bytes) << ",\n";
+    out << "      \"mean_latency_us\": " << fmt(r.mean_latency_us) << ",\n";
+    out << "      \"p50_latency_us\": " << fmt(r.p50_latency_us) << ",\n";
+    out << "      \"p99_latency_us\": " << fmt(r.p99_latency_us) << ",\n";
+    out << "      \"page_cache_hit_ratio\": " << fmt(r.page_cache_hit_ratio)
+        << ",\n";
+    out << "      \"fgrc_hit_ratio\": " << fmt(r.fgrc_hit_ratio) << ",\n";
+    out << "      \"page_cache_bytes\": " << fmt(r.page_cache_bytes) << ",\n";
+    out << "      \"fgrc_bytes\": " << fmt(r.fgrc_bytes) << ",\n";
+    out << "      \"events_executed\": " << fmt(r.events_executed) << "\n";
+    out << "    }";
+  }
+  out << "\n  ]\n}\n";
+  return out.str();
+}
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(GoldenTrace, MatchesCheckedInFixture) {
+  const std::string actual = render_golden();
+
+  if (std::getenv("PIPETTE_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(GOLDEN_TRACE_PATH);
+    ASSERT_TRUE(out) << "cannot write " << GOLDEN_TRACE_PATH;
+    out << actual;
+    ASSERT_TRUE(static_cast<bool>(out));
+    GTEST_SKIP() << "golden trace regenerated at " << GOLDEN_TRACE_PATH;
+  }
+
+  std::ifstream in(GOLDEN_TRACE_PATH);
+  ASSERT_TRUE(in) << "missing fixture " << GOLDEN_TRACE_PATH
+                  << "; regenerate with PIPETTE_UPDATE_GOLDEN=1";
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string expected = buf.str();
+
+  // Line-by-line so a drifted field reads as `"elapsed_ns": old vs new`,
+  // not as an opaque whole-file mismatch.
+  const std::vector<std::string> want = lines_of(expected);
+  const std::vector<std::string> got = lines_of(actual);
+  ASSERT_EQ(want.size(), got.size())
+      << "fixture shape changed; regenerate with PIPETTE_UPDATE_GOLDEN=1 "
+         "if intentional";
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(want[i], got[i])
+        << "golden trace drift at " << GOLDEN_TRACE_PATH << ":" << (i + 1)
+        << " — if this change is intentional, regenerate with "
+           "PIPETTE_UPDATE_GOLDEN=1 and call it out in review";
+  }
+}
+
+}  // namespace
+}  // namespace pipette

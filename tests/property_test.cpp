@@ -11,13 +11,19 @@
 //    bookkeeping, and data survival across migration.
 //  * Path-equivalence sweep — all five systems return identical bytes for
 //    every request size.
+//  * Fleet partitioners — hash and range cover every shard, map each key to
+//    exactly one shard, and (range) respect key ordering.
+//  * Splittable RNG — sub-streams are deterministic and pairwise disjoint
+//    over a 10k-draw window.
 #include <gtest/gtest.h>
 
 #include <cstring>
 #include <map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/bytes.h"
+#include "fleet/partition.h"
 #include "sim/machine.h"
 
 namespace pipette {
@@ -273,6 +279,104 @@ TEST_P(SizeEquivalence, AllPathsAgreeAtThisSize) {
 INSTANTIATE_TEST_SUITE_P(Sizes, SizeEquivalence,
                          ::testing::Values(1u, 8u, 100u, 128u, 1000u, 4096u,
                                            5000u, 16384u));
+
+// --- Fleet partitioner properties ---
+
+class PartitionProperty : public ::testing::TestWithParam<PartitionScheme> {};
+
+TEST_P(PartitionProperty, CoversAllShardsAndMapsEachKeyToExactlyOne) {
+  constexpr std::uint64_t kKeyspace = 1ull << 30;
+  const std::vector<FileSpec> files{{"k.bin", kKeyspace}};
+  Rng rng(0xA11 + static_cast<std::uint64_t>(GetParam()));
+  for (std::size_t shards = 1; shards <= 64; ++shards) {
+    const Partitioner part(GetParam(), shards, files);
+    // Two independently constructed partitioners must agree on every key:
+    // a key belongs to exactly one shard, as a pure function of the scheme.
+    const Partitioner twin(GetParam(), shards, files);
+    std::vector<bool> hit(shards, false);
+    for (int i = 0; i < 2000; ++i) {
+      const std::uint64_t key = rng.next_below(kKeyspace);
+      const std::size_t s = part.shard_of_key(key);
+      ASSERT_LT(s, shards);
+      ASSERT_EQ(s, twin.shard_of_key(key));
+      ASSERT_EQ(s, part.shard_of_key(key));  // stable across calls
+      hit[s] = true;
+    }
+    for (std::size_t s = 0; s < shards; ++s)
+      ASSERT_TRUE(hit[s]) << to_string(GetParam()) << " shards=" << shards
+                          << " never routed a key to shard " << s;
+  }
+}
+
+TEST_P(PartitionProperty, MultiFileKeysAreFileBasePlusOffset) {
+  const std::vector<FileSpec> files{{"a", 1000}, {"b", 2000}, {"c", 500}};
+  const Partitioner part(GetParam(), 4, files);
+  EXPECT_EQ(part.keyspace(), 3500u);
+  EXPECT_EQ(part.key_of({0, 999, 1, false}), 999u);
+  EXPECT_EQ(part.key_of({1, 5, 1, false}), 1005u);
+  EXPECT_EQ(part.key_of({2, 0, 1, false}), 3000u);
+}
+
+TEST(PartitionPropertyRange, ShardIsMonotoneInKey) {
+  constexpr std::uint64_t kKeyspace = 1ull << 40;  // exercises 128-bit math
+  const std::vector<FileSpec> files{{"k.bin", kKeyspace}};
+  const Partitioner part(PartitionScheme::kRange, 7, files);
+  Rng rng(99);
+  std::uint64_t prev_key = 0;
+  std::size_t prev_shard = part.shard_of_key(0);
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t key = prev_key + 1 + rng.next_below(kKeyspace / 5001);
+    if (key >= kKeyspace) break;
+    const std::size_t s = part.shard_of_key(key);
+    ASSERT_GE(s, prev_shard) << "range shards must follow key order";
+    prev_key = key;
+    prev_shard = s;
+  }
+  EXPECT_EQ(part.shard_of_key(kKeyspace - 1), 6u);
+}
+
+// --- Splittable RNG sub-streams ---
+
+TEST(SplitRngProperty, SubStreamsAreDeterministicAndPairwiseDisjoint) {
+  constexpr int kStreams = 8;
+  constexpr int kWindow = 10'000;
+  for (std::uint64_t parent_seed : {1ull, 42ull, 0xDEADBEEFull}) {
+    Rng parent(parent_seed);
+    // All draws across the parent and every sub-stream's 10k-draw window
+    // must be distinct: overlapping prefixes would mean two shards replay
+    // correlated workloads.
+    std::unordered_set<std::uint64_t> seen;
+    seen.reserve((kStreams + 1) * kWindow);
+    for (int i = 0; i < kWindow; ++i)
+      ASSERT_TRUE(seen.insert(parent.next()).second);
+    for (int s = 0; s < kStreams; ++s) {
+      Rng child = parent.split(static_cast<std::uint64_t>(s));
+      Rng replay = parent.split(static_cast<std::uint64_t>(s));
+      for (int i = 0; i < kWindow; ++i) {
+        const std::uint64_t draw = child.next();
+        ASSERT_EQ(draw, replay.next()) << "split is not deterministic";
+        ASSERT_TRUE(seen.insert(draw).second)
+            << "seed " << parent_seed << " stream " << s << " draw " << i
+            << " overlaps another sub-stream";
+      }
+    }
+  }
+  // split() derives children from the seed, not the draw position: a parent
+  // that has already drawn yields the same children as a fresh one.
+  Rng drained(42);
+  for (int i = 0; i < 1000; ++i) drained.next();
+  EXPECT_EQ(Rng(42).split(3).next(), drained.split(3).next());
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, PartitionProperty,
+                         ::testing::Values(PartitionScheme::kHash,
+                                           PartitionScheme::kRange),
+                         [](const ::testing::TestParamInfo<PartitionScheme>&
+                                info) {
+                           return info.param == PartitionScheme::kHash
+                                      ? "Hash"
+                                      : "Range";
+                         });
 
 // --- Info Area stress ---
 

@@ -134,7 +134,8 @@ TEST(RunExperiment, PercentilesDescribeTheMeasuredPhaseOnly) {
 }
 
 // The tentpole guarantee: the parallel runner is bit-identical to the
-// serial one, field by field (host_seconds excepted — it is wall-clock).
+// serial one on every deterministic field (host_seconds excepted — it is
+// wall-clock, and RunResult::Deterministic() excludes it by construction).
 TEST(RunExperimentsParallel, MatchesSerialFieldByField) {
   std::vector<ExperimentCell> cells;
   for (PathKind kind : {PathKind::kBlockIo, PathKind::kPipette}) {
@@ -152,32 +153,19 @@ TEST(RunExperimentsParallel, MatchesSerialFieldByField) {
   const auto parallel = run_experiments_parallel(cells, /*jobs=*/4);
   ASSERT_EQ(serial.size(), parallel.size());
   for (std::size_t i = 0; i < serial.size(); ++i) {
-    const RunResult& s = serial[i];
-    const RunResult& p = parallel[i];
-    EXPECT_EQ(s.path_name, p.path_name) << "cell " << i;
-    EXPECT_EQ(s.requests, p.requests) << "cell " << i;
-    EXPECT_EQ(s.measured_reads, p.measured_reads) << "cell " << i;
-    EXPECT_EQ(s.bytes_requested, p.bytes_requested) << "cell " << i;
-    EXPECT_EQ(s.elapsed, p.elapsed) << "cell " << i;
-    EXPECT_EQ(s.traffic_bytes, p.traffic_bytes) << "cell " << i;
-    EXPECT_EQ(s.mean_latency_us, p.mean_latency_us) << "cell " << i;
-    EXPECT_EQ(s.p50_latency_us, p.p50_latency_us) << "cell " << i;
-    EXPECT_EQ(s.p99_latency_us, p.p99_latency_us) << "cell " << i;
-    EXPECT_EQ(s.page_cache_hit_ratio, p.page_cache_hit_ratio) << "cell " << i;
-    EXPECT_EQ(s.fgrc_hit_ratio, p.fgrc_hit_ratio) << "cell " << i;
-    EXPECT_EQ(s.page_cache_bytes, p.page_cache_bytes) << "cell " << i;
-    EXPECT_EQ(s.fgrc_bytes, p.fgrc_bytes) << "cell " << i;
-    EXPECT_EQ(s.events_executed, p.events_executed) << "cell " << i;
+    EXPECT_EQ(serial[i].Deterministic(), parallel[i].Deterministic())
+        << "cell " << i;
   }
 }
 
 // Golden equivalence across the two entry points: a fig6-style cell run
 // directly through run_experiment must match the same MachineConfig
 // round-tripped through an ExperimentCell and the parallel runner, on every
-// deterministic RunResult field (host_seconds is wall-clock and excluded).
-// This pins the DES core's event ordering: any divergence in schedule order
-// shows up as a different elapsed/latency/events_executed long before a
-// human would notice it in a table.
+// deterministic RunResult field (host_seconds is wall-clock and excluded
+// from Deterministic()). This pins the DES core's event ordering: any
+// divergence in schedule order shows up as a different
+// elapsed/latency/events_executed long before a human would notice it in a
+// table.
 TEST(RunExperimentsParallel, GoldenEquivalentToDirectRunExperiment) {
   SyntheticConfig sc = table1_workload('C', Distribution::kUniform, 42);
   sc.file_size = 8 * kMiB;
@@ -197,20 +185,7 @@ TEST(RunExperimentsParallel, GoldenEquivalentToDirectRunExperiment) {
   ASSERT_EQ(via_runner.size(), 1u);
   const RunResult& r = via_runner[0];
 
-  EXPECT_EQ(direct.path_name, r.path_name);
-  EXPECT_EQ(direct.requests, r.requests);
-  EXPECT_EQ(direct.measured_reads, r.measured_reads);
-  EXPECT_EQ(direct.bytes_requested, r.bytes_requested);
-  EXPECT_EQ(direct.elapsed, r.elapsed);
-  EXPECT_EQ(direct.traffic_bytes, r.traffic_bytes);
-  EXPECT_EQ(direct.mean_latency_us, r.mean_latency_us);
-  EXPECT_EQ(direct.p50_latency_us, r.p50_latency_us);
-  EXPECT_EQ(direct.p99_latency_us, r.p99_latency_us);
-  EXPECT_EQ(direct.page_cache_hit_ratio, r.page_cache_hit_ratio);
-  EXPECT_EQ(direct.fgrc_hit_ratio, r.fgrc_hit_ratio);
-  EXPECT_EQ(direct.page_cache_bytes, r.page_cache_bytes);
-  EXPECT_EQ(direct.fgrc_bytes, r.fgrc_bytes);
-  EXPECT_EQ(direct.events_executed, r.events_executed);
+  EXPECT_EQ(direct.Deterministic(), r.Deterministic());
   EXPECT_GT(direct.events_executed, rc.requests);  // many events per request
 }
 
