@@ -1,0 +1,181 @@
+// Fault sweep: the five systems under increasing device fault rates.
+//
+// Each column injects a per-sensing-pass NAND read error rate r, an HMB DMA
+// fault rate r on the fine-grained engine, and a lost-completion rate r/10,
+// over the mixed synthetic workload (Table 1 'C', uniform offsets).
+//
+// What to look for:
+//  * Availability: the block path loses exactly the terminal-ECC-failure
+//    fraction; Pipette additionally rides out every HMB fault by degrading
+//    to the block route, so its availability matches block I/O while its
+//    degraded-read column grows with r.
+//  * Mean latency: retry backoff and degraded (double-trip) reads thicken
+//    the tail well before availability visibly moves — the usual fleet
+//    early-warning signal.
+//  * The zero-rate column is the control: it must match the fault-free
+//    benches bit for bit (the golden-trace test pins the same property).
+//
+// The whole matrix also asserts the allocation-free hot path: if any
+// fault-path callback outgrows its InlineFunction inline buffer the bench
+// exits nonzero, which `ctest` (fault_smoke) turns into a failure.
+#include <cinttypes>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/inline_function.h"
+
+using namespace pipette;
+using namespace pipette::bench;
+
+namespace {
+
+constexpr double kRates[] = {0.0, 1e-4, 1e-3, 1e-2};
+
+struct FaultCell {
+  double rate;
+  PathKind kind;
+  RunResult result;
+};
+
+MachineConfig faulty_machine(PathKind kind, double rate) {
+  MachineConfig m = default_machine(kind);
+  m.ssd.faults.nand.read_error_rate = rate;
+  m.ssd.faults.hmb.dma_fault_rate = rate;
+  m.ssd.faults.hmb.drop_rate = rate / 10.0;
+  return m;
+}
+
+void write_fault_json(const BenchArgs& args,
+                      const std::vector<FaultCell>& cells) {
+  if (args.json_path.empty()) return;
+  std::FILE* f = std::fopen(args.json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "pipette: cannot write JSON to %s\n",
+                 args.json_path.c_str());
+    return;
+  }
+  double total_seconds = 0.0;
+  std::uint64_t total_events = 0;
+  for (const FaultCell& c : cells) {
+    total_seconds += c.result.host_seconds;
+    total_events += c.result.events_executed;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"fault_sweep\",\n  \"jobs\": %u,\n",
+               args.jobs);
+  std::fprintf(f, "  \"total_host_seconds\": %.6f,\n", total_seconds);
+  std::fprintf(f, "  \"total_events_executed\": %" PRIu64 ",\n",
+               total_events);
+  std::fprintf(f, "  \"events_per_sec\": %.0f,\n",
+               total_seconds > 0.0
+                   ? static_cast<double>(total_events) / total_seconds
+                   : 0.0);
+  std::fprintf(f, "  \"cells\": [\n");
+  bool first = true;
+  for (const FaultCell& c : cells) {
+    std::fprintf(f,
+                 "%s    {\"rate\": %g, \"system\": \"%s\", "
+                 "\"availability\": %.6f, \"retries\": %" PRIu64
+                 ", \"failed_reads\": %" PRIu64 ", \"degraded_reads\": %" PRIu64
+                 ", \"mean_latency_us\": %.6f, \"p99_latency_us\": %.6f, "
+                 "\"host_seconds\": %.6f, \"events_executed\": %" PRIu64 "}",
+                 first ? "" : ",\n", c.rate, short_name(c.kind),
+                 c.result.availability(), c.result.retries,
+                 c.result.failed_reads, c.result.degraded_reads,
+                 c.result.mean_latency_us, c.result.p99_latency_us,
+                 c.result.host_seconds, c.result.events_executed);
+    first = false;
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+}
+
+std::string rate_label(double rate) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "r=%g", rate);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::parse(argc, argv);
+  const Scale scale = Scale::from_args(args);
+  print_header("Fault sweep — Table 1 'C', device fault rates", scale);
+  std::printf(
+      "(per cell: NAND read-error rate r, HMB DMA-fault rate r, "
+      "completion-drop rate r/10)\n\n");
+
+  const std::uint64_t heap0 = inline_function_heap_allocations();
+
+  std::vector<ExperimentCell> cells;
+  std::vector<FaultCell> labels;
+  for (double rate : kRates) {
+    for (PathKind kind : kAllPaths) {
+      const std::uint64_t seed = args.seed;
+      cells.push_back({faulty_machine(kind, rate),
+                       [seed]() -> std::unique_ptr<Workload> {
+                         return std::make_unique<SyntheticWorkload>(
+                             table1_workload('C', Distribution::kUniform,
+                                             seed));
+                       },
+                       scale.run()});
+      labels.push_back({rate, kind, {}});
+    }
+  }
+
+  const std::vector<RunResult> results = run_experiments_parallel(
+      std::move(cells), args.jobs,
+      [&labels](std::size_t i, const RunResult& r) {
+        std::fprintf(stderr,
+                     "  [%s] %-18s done (avail %.4f, %" PRIu64
+                     " retries, %" PRIu64 " failed, %" PRIu64
+                     " degraded, %.1fs host)\n",
+                     rate_label(labels[i].rate).c_str(),
+                     short_name(labels[i].kind), r.availability(), r.retries,
+                     r.failed_reads, r.degraded_reads, r.host_seconds);
+      });
+  for (std::size_t i = 0; i < results.size(); ++i)
+    labels[i].result = results[i];
+
+  std::vector<std::string> headers{"System"};
+  for (double rate : kRates) headers.push_back(rate_label(rate));
+
+  Table avail(headers);
+  Table latency(headers);
+  Table degraded(headers);
+  for (PathKind kind : kAllPaths) {
+    std::vector<std::string> avail_row{short_name(kind)};
+    std::vector<std::string> lat_row{short_name(kind)};
+    std::vector<std::string> deg_row{short_name(kind)};
+    for (const FaultCell& c : labels) {
+      if (c.kind != kind) continue;
+      avail_row.push_back(Table::fmt(c.result.availability() * 100.0, 4));
+      lat_row.push_back(Table::fmt(c.result.mean_latency_us, 2));
+      deg_row.push_back(std::to_string(c.result.degraded_reads));
+    }
+    avail.add_row(std::move(avail_row));
+    latency.add_row(std::move(lat_row));
+    degraded.add_row(std::move(deg_row));
+  }
+
+  std::printf("-- availability (%% of measured reads served) --\n");
+  emit(avail, args);
+  std::printf("\n-- mean read latency (us) --\n");
+  std::fputs(latency.to_text().c_str(), stdout);
+  std::printf("\n-- degraded reads (served via block-path fallback) --\n");
+  std::fputs(degraded.to_text().c_str(), stdout);
+
+  write_fault_json(args, labels);
+
+  const std::uint64_t heap_delta =
+      inline_function_heap_allocations() - heap0;
+  if (heap_delta != 0) {
+    std::fprintf(stderr,
+                 "fault_sweep: %" PRIu64
+                 " InlineFunction heap fallbacks — a fault-path callback "
+                 "outgrew its inline buffer\n",
+                 heap_delta);
+    return 1;
+  }
+  return 0;
+}

@@ -24,10 +24,10 @@ std::vector<std::pair<Lba, std::uint32_t>> BlockLayer::merge(
   return runs;
 }
 
-void BlockLayer::read_pages(
+bool BlockLayer::read_pages(
     std::vector<Lba> lbas,
     const std::function<void(Lba, const std::uint8_t*)>& sink) {
-  if (lbas.empty()) return;
+  if (lbas.empty()) return true;
   stats_.page_requests += lbas.size();
   const auto runs = merge(std::move(lbas));
   stats_.merged_requests += runs.size();
@@ -39,6 +39,7 @@ void BlockLayer::read_pages(
   struct Pending {
     Lba start;
     std::uint32_t count;
+    bool ok = true;
     std::vector<std::uint8_t> buf;
   };
   std::vector<Pending> pending(runs.size());
@@ -53,17 +54,27 @@ void BlockLayer::read_pages(
     cmd.lba = runs[i].first;
     cmd.nlb = runs[i].second;
     cmd.host_dest = {pending[i].buf.data(), pending[i].buf.size()};
+    // Two pointers: stays within std::function's 16-byte inline buffer.
     ssd_.submit(std::move(cmd),
-                [&remaining](const CommandResult&) { --remaining; });
+                [p = &pending[i], &remaining](const CommandResult& r) {
+                  p->ok = r.status == CmdStatus::kOk;
+                  --remaining;
+                });
   }
   const bool done =
       sim_.run_until_condition([&remaining] { return remaining == 0; });
   PIPETTE_ASSERT_MSG(done, "device never completed block reads");
 
+  bool all_ok = true;
   for (const Pending& p : pending) {
+    if (!p.ok) {
+      all_ok = false;
+      continue;  // media error: the run's payload never arrived
+    }
     for (std::uint32_t b = 0; b < p.count; ++b)
       sink(p.start + b, p.buf.data() + static_cast<std::size_t>(b) * kBlockSize);
   }
+  return all_ok;
 }
 
 void BlockLayer::read_pages_async(
@@ -89,10 +100,13 @@ void BlockLayer::read_pages_async(
     const Lba run_start = start;
     const std::uint32_t run_count = count;
     ssd_.submit(std::move(cmd), [shared_sink, buf, run_start,
-                                 run_count](const CommandResult&) {
+                                 run_count](const CommandResult& r) {
+      const bool ok = r.status == CmdStatus::kOk;
       for (std::uint32_t b = 0; b < run_count; ++b)
         (*shared_sink)(run_start + b,
-                       buf->data() + static_cast<std::size_t>(b) * kBlockSize);
+                       ok ? buf->data() +
+                                static_cast<std::size_t>(b) * kBlockSize
+                          : nullptr);
     });
   }
 }

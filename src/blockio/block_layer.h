@@ -31,15 +31,19 @@ class BlockLayer {
 
   /// Sort + merge `lbas` into contiguous runs (duplicates collapsed), issue
   /// one device read per run, and deliver each page to `sink` once all runs
-  /// complete. Returns only after completion (clock advanced).
-  void read_pages(
+  /// complete. Returns only after completion (clock advanced). Pages of a
+  /// run that failed with a media error are not delivered; the return value
+  /// is false if any run failed.
+  bool read_pages(
       std::vector<Lba> lbas,
       const std::function<void(Lba, const std::uint8_t*)>& sink);
 
   /// Asynchronous variant (read-ahead): submits the merged runs and returns
   /// immediately; `sink` runs at each run's completion, while the caller is
   /// doing something else. The kernel's async read-ahead works this way —
-  /// only the demanded pages block the reader.
+  /// only the demanded pages block the reader. A failed run still reaches
+  /// the sink — once per page, with null data — so callers can retire
+  /// in-flight bookkeeping.
   void read_pages_async(std::vector<Lba> lbas,
                         std::function<void(Lba, const std::uint8_t*)> sink);
 

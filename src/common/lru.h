@@ -53,6 +53,13 @@ class LruMap {
     return evicted;
   }
 
+  /// Drop every entry (capacity unchanged). No eviction callbacks fire;
+  /// callers that care about dirty state flush first.
+  void clear() {
+    order_.clear();
+    index_.clear();
+  }
+
   bool erase(const K& key) {
     auto it = index_.find(key);
     if (it == index_.end()) return false;

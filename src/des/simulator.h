@@ -59,6 +59,22 @@ class Simulator {
     return false;
   }
 
+  /// Deadline-bounded variant of run_until_condition: only events due at or
+  /// before `deadline` run. Returns false on timeout (condition still false
+  /// with no runnable event left), leaving the clock at the last executed
+  /// event and any later events queued. Purely passive — it schedules no
+  /// timer event of its own, so arming a guard does not perturb the event
+  /// sequence of runs that never time out.
+  template <typename Pred>
+  bool run_until_condition_before(Pred&& done, SimTime deadline) {
+    if (done()) return true;
+    while (!queue_.empty() && queue_.min_when() <= deadline) {
+      pop_and_run();
+      if (done()) return true;
+    }
+    return false;
+  }
+
   std::size_t pending_events() const { return queue_.size(); }
   std::uint64_t events_executed() const { return executed_; }
 

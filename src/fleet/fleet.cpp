@@ -41,6 +41,11 @@ RunResult Shard::run(Workload& sub_stream, const RunConfig& plan) {
   return run_experiment_on(machine_, sub_stream, plan);
 }
 
+RunResult Shard::run(Workload& sub_stream, const RunConfig& plan,
+                     const RunHooks& hooks) {
+  return run_experiment_on(machine_, sub_stream, plan, hooks);
+}
+
 FleetRunner::FleetRunner(FleetConfig config,
                          SeededWorkloadFactory make_workload,
                          std::uint64_t workload_seed)
@@ -52,31 +57,56 @@ FleetRunner::FleetRunner(FleetConfig config,
                          config_.shard_machines.size() == config_.shards,
                      "shard_machines must be empty or one per shard");
   PIPETTE_ASSERT(make_workload_ != nullptr);
+  PIPETTE_ASSERT_MSG(!config_.faults.any() ||
+                         config_.substream == SubstreamMode::kPartitioned,
+                     "outage schedules are keyed on master-stream indices, "
+                     "which only exist in partitioned mode");
+  for (const ShardOutage& o : config_.faults.outages) {
+    PIPETTE_ASSERT_MSG(o.shard < config_.shards, "outage for unknown shard");
+    PIPETTE_ASSERT_MSG(o.recover_at >= o.fail_at, "outage recovers in the past");
+  }
 }
 
 MachineConfig FleetRunner::shard_machine(std::size_t shard) const {
-  return config_.shard_machines.empty() ? config_.machine
-                                        : config_.shard_machines[shard];
+  MachineConfig machine = config_.shard_machines.empty()
+                              ? config_.machine
+                              : config_.shard_machines[shard];
+  // Every shard's device draws from a private fault sub-stream; without the
+  // split each device would replay the identical error trace. A zero-rate
+  // plan never draws, so reseeding keeps fault-free runs bit-identical.
+  machine.ssd.faults.seed = Rng::split_seed(machine.ssd.faults.seed, shard);
+  return machine;
 }
 
 FleetResult FleetRunner::run(const RunConfig& run, unsigned jobs) const {
   const auto host_t0 = std::chrono::steady_clock::now();
   const std::size_t shards = config_.shards;
   const bool partitioned = config_.substream == SubstreamMode::kPartitioned;
+  const FleetFaultPlan& faults = config_.faults;
 
   // Per-shard phase sizes. Partitioned mode takes them from a counting
   // pre-pass over the master stream — pure RNG work, no simulation — so
   // every shard's warmup/measured boundary lands exactly on the fleet-wide
-  // one. Independent mode gives every replica the full counts.
+  // one. Independent mode gives every replica the full counts. Under a
+  // fault plan the pre-pass routes by effective_shard(), so kReroute
+  // traffic is counted against the failover target, and it tallies the
+  // measured requests whose owner was down.
   std::vector<RunConfig> plans(shards, partitioned ? RunConfig{0, 0} : run);
+  std::vector<std::uint64_t> down_measured(shards, 0);
   if (partitioned) {
     std::unique_ptr<Workload> master = make_workload_(seed_);
     PIPETTE_ASSERT_MSG(master != nullptr, "fleet workload factory failed");
     const Partitioner part(config_.partition, shards, master->files());
-    for (std::uint64_t i = 0; i < run.warmup; ++i)
-      ++plans[part.shard_of(master->next())].warmup;
-    for (std::uint64_t i = 0; i < run.requests; ++i)
-      ++plans[part.shard_of(master->next())].requests;
+    for (std::uint64_t i = 0; i < run.warmup; ++i) {
+      const std::size_t owner = part.shard_of(master->next());
+      ++plans[effective_shard(faults, shards, owner, i)].warmup;
+    }
+    for (std::uint64_t i = 0; i < run.requests; ++i) {
+      const std::uint64_t index = run.warmup + i;
+      const std::size_t owner = part.shard_of(master->next());
+      if (faults.shard_down_at(owner, index)) ++down_measured[owner];
+      ++plans[effective_shard(faults, shards, owner, index)].requests;
+    }
   }
 
   std::vector<RunResult> shard_results(shards);
@@ -85,15 +115,69 @@ FleetResult FleetRunner::run(const RunConfig& run, unsigned jobs) const {
         partitioned ? seed_ : Rng::split_seed(seed_, s);
     std::unique_ptr<Workload> master = make_workload_(shard_seed);
     PIPETTE_ASSERT_MSG(master != nullptr, "fleet workload factory failed");
-    if (partitioned) {
-      const Partitioner part(config_.partition, shards, master->files());
-      ShardWorkload sub(std::move(master), part, s);
-      Shard shard(s, shard_machine(s), sub.files());
-      shard_results[s] = shard.run(sub, plans[s]);
-    } else {
+    if (!partitioned) {
       Shard shard(s, shard_machine(s), master->files());
       shard_results[s] = shard.run(*master, plans[s]);
+      return;
     }
+    const Partitioner part(config_.partition, shards, master->files());
+    ShardWorkload sub(std::move(master), part, s,
+                      faults.any() ? &faults : nullptr);
+    Shard shard(s, shard_machine(s), sub.files());
+
+    const ShardOutage* outage = faults.outage_for(s);
+    const bool intercept = outage != nullptr && outage->active() &&
+                           faults.policy != DownShardPolicy::kReroute;
+    if (!intercept) {
+      shard_results[s] = shard.run(sub, plans[s]);
+      return;
+    }
+
+    // Outage interceptor (fail-fast / retry-backoff): a request landing in
+    // the outage window is rejected or deferred instead of issued; the
+    // first request at or after recovery cold-restarts the machine (host
+    // caches come back empty) and replays the deferrals, each charged its
+    // client's full backoff ladder.
+    struct Deferred {
+      Request req;
+      bool measured;
+    };
+    std::vector<Deferred> deferred;
+    std::uint64_t client_retries = 0;
+    bool recovered = false;
+    RunHooks hooks;
+    hooks.on_request = [&](const Request& req,
+                           const RunHooks::IssueFn& issue) {
+      const std::uint64_t index = sub.last_master_index();
+      if (!recovered && index >= outage->recover_at) {
+        recovered = true;
+        shard.machine().cold_restart();
+        for (const Deferred& d : deferred) {
+          shard.machine().sim().advance(faults.total_retry_backoff());
+          if (d.measured) client_retries += faults.retry_attempts;
+          issue(d.req);
+        }
+        deferred.clear();
+      }
+      if (!outage->down_at(index)) return false;
+      if (faults.policy == DownShardPolicy::kFailFast) {
+        shard.machine().path().reject_request(req.is_write,
+                                              faults.fail_fast_latency);
+        return true;
+      }
+      deferred.push_back({req, index >= run.warmup});
+      return true;
+    };
+    RunResult result = shard.run(sub, plans[s], hooks);
+    // Deferrals still parked when the stream ends (recovery lies beyond the
+    // run) exhausted their backoff ladder without an answer: failures.
+    for (const Deferred& d : deferred) {
+      if (!d.measured) continue;
+      client_retries += faults.retry_attempts;
+      if (!d.req.is_write) ++result.failed_reads;
+    }
+    result.retries += client_retries;
+    shard_results[s] = result;
   };
 
   if (jobs == 0) jobs = ThreadPool::default_threads();
@@ -111,14 +195,23 @@ FleetResult FleetRunner::run(const RunConfig& run, unsigned jobs) const {
 
   FleetResult out;
   out.shard_results = std::move(shard_results);
-  out.min_shard_requests = ~0ull;
-  for (std::size_t s = 0; s < shards; ++s) {
-    const RunResult& r = out.shard_results[s];
+  // Guards below keep the merge total for degenerate fleets — zero-request
+  // runs, shards that served nothing (down the whole stream, or an empty
+  // partition slice) — instead of dividing by zero or indexing into an
+  // empty result set.
+  out.min_shard_requests = out.shard_results.empty() ? 0 : ~0ull;
+  for (std::size_t s = 0; s < out.shard_results.size(); ++s) {
+    RunResult& r = out.shard_results[s];
+    r.down_requests += down_measured[s];
     out.requests += r.requests;
     out.measured_reads += r.measured_reads;
     out.bytes_requested += r.bytes_requested;
     out.traffic_bytes += r.traffic_bytes;
     out.events_executed += r.events_executed;
+    out.retries += r.retries;
+    out.failed_reads += r.failed_reads;
+    out.degraded_reads += r.degraded_reads;
+    out.down_requests += r.down_requests;
     out.makespan = std::max(out.makespan, r.elapsed);
     out.latency.merge(r.read_latency);
     if (r.requests > out.max_shard_requests) {
@@ -133,14 +226,18 @@ FleetResult FleetRunner::run(const RunConfig& run, unsigned jobs) const {
     out.p99_latency_us = to_us(out.latency.percentile(99));
   }
   out.mean_shard_requests =
-      static_cast<double>(out.requests) / static_cast<double>(shards);
+      shards == 0 ? 0.0
+                  : static_cast<double>(out.requests) /
+                        static_cast<double>(shards);
   out.load_imbalance =
       out.mean_shard_requests == 0.0
           ? 0.0
           : static_cast<double>(out.max_shard_requests) /
                 out.mean_shard_requests;
-  out.hottest_shard_fgrc_hit_ratio =
-      out.shard_results[out.hottest_shard].fgrc_hit_ratio;
+  if (!out.shard_results.empty()) {
+    out.hottest_shard_fgrc_hit_ratio =
+        out.shard_results[out.hottest_shard].fgrc_hit_ratio;
+  }
   out.host_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - host_t0)
           .count();

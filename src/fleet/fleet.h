@@ -30,6 +30,7 @@
 #include <tuple>
 #include <vector>
 
+#include "faults/faults.h"
 #include "fleet/partition.h"
 #include "sim/experiment.h"
 
@@ -64,6 +65,12 @@ struct FleetConfig {
   /// Optional per-shard overrides: empty, or exactly one entry per shard
   /// (heterogeneous fleets: a straggler shard, mixed path kinds, ...).
   std::vector<MachineConfig> shard_machines;
+  /// Shard outage schedule + down-shard policy. Outages are indexed by
+  /// master-stream position (the fleet's deterministic clock), so an active
+  /// schedule requires kPartitioned mode. Device-level fault rates live in
+  /// machine.ssd.faults; the runner splits that plan's seed per shard so
+  /// each device draws a private error trace.
+  FleetFaultPlan faults;
 };
 
 struct FleetResult {
@@ -75,6 +82,15 @@ struct FleetResult {
   std::uint64_t bytes_requested = 0;
   std::uint64_t traffic_bytes = 0;
   std::uint64_t events_executed = 0;  // warmup + measurement, all shards
+
+  // Fault-model totals over the measured phase (sums across shards):
+  // NAND retry passes + client retries, terminal read failures, reads that
+  // fell back to the block path after an HMB fault, and requests that
+  // arrived while their owning shard was down.
+  std::uint64_t retries = 0;
+  std::uint64_t failed_reads = 0;
+  std::uint64_t degraded_reads = 0;
+  std::uint64_t down_requests = 0;
 
   /// Simulated makespan of the measured phase: the slowest shard's elapsed
   /// time. Shards run concurrently in a real deployment, so fleet
@@ -105,6 +121,15 @@ struct FleetResult {
   /// from Deterministic() and deterministic_equal().
   double host_seconds = 0.0;
 
+  /// Fraction of measured reads the fleet served (possibly degraded);
+  /// 1.0 when no read was attempted.
+  double availability() const {
+    const std::uint64_t attempted = measured_reads + failed_reads;
+    return attempted == 0 ? 1.0
+                          : static_cast<double>(measured_reads) /
+                                static_cast<double>(attempted);
+  }
+
   double requests_per_sec() const {
     return makespan == 0 ? 0.0
                          : static_cast<double>(requests) /
@@ -122,7 +147,8 @@ struct FleetResult {
   /// shard_results).
   auto Deterministic() const {
     return std::tie(requests, measured_reads, bytes_requested, traffic_bytes,
-                    events_executed, makespan, latency, mean_latency_us,
+                    events_executed, retries, failed_reads, degraded_reads,
+                    down_requests, makespan, latency, mean_latency_us,
                     p50_latency_us, p99_latency_us, max_shard_requests,
                     min_shard_requests, mean_shard_requests, load_imbalance,
                     hottest_shard, hottest_shard_fgrc_hit_ratio);
@@ -144,8 +170,11 @@ class Shard {
   Machine& machine() { return machine_; }
 
   /// Drive `sub_stream` through this shard's machine: `plan.warmup` cache-
-  /// warming requests, then `plan.requests` measured ones.
+  /// warming requests, then `plan.requests` measured ones. The hooked
+  /// variant intercepts every request (outage policies).
   RunResult run(Workload& sub_stream, const RunConfig& plan);
+  RunResult run(Workload& sub_stream, const RunConfig& plan,
+                const RunHooks& hooks);
 
  private:
   std::size_t index_;

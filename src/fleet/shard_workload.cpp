@@ -7,10 +7,12 @@
 namespace pipette {
 
 ShardWorkload::ShardWorkload(std::unique_ptr<Workload> master,
-                             Partitioner partitioner, std::size_t shard)
+                             Partitioner partitioner, std::size_t shard,
+                             const FleetFaultPlan* faults)
     : master_(std::move(master)),
       partitioner_(std::move(partitioner)),
-      shard_(shard) {
+      shard_(shard),
+      faults_(faults) {
   PIPETTE_ASSERT(master_ != nullptr);
   PIPETTE_ASSERT(shard_ < partitioner_.shards());
 }
@@ -18,8 +20,13 @@ ShardWorkload::ShardWorkload(std::unique_ptr<Workload> master,
 Request ShardWorkload::next() {
   for (;;) {
     Request req = master_->next();
-    ++master_consumed_;
-    if (partitioner_.shard_of(req) == shard_) return req;
+    const std::uint64_t index = master_consumed_++;
+    const std::size_t owner = partitioner_.shard_of(req);
+    const std::size_t serving =
+        faults_ == nullptr
+            ? owner
+            : effective_shard(*faults_, partitioner_.shards(), owner, index);
+    if (serving == shard_) return req;
   }
 }
 

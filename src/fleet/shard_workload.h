@@ -13,6 +13,7 @@
 #include <memory>
 #include <string>
 
+#include "faults/faults.h"
 #include "fleet/partition.h"
 #include "workload/workload.h"
 
@@ -21,9 +22,12 @@ namespace pipette {
 class ShardWorkload : public Workload {
  public:
   /// Takes its own master instance (each shard constructs one from the
-  /// shared seed) and a copy of the fleet's partitioner.
+  /// shared seed) and a copy of the fleet's partitioner. `faults` (optional,
+  /// unowned, must outlive the workload) makes the filter route by
+  /// effective_shard() instead of raw ownership, so under kReroute a shard
+  /// also yields the requests it absorbs for down peers.
   ShardWorkload(std::unique_ptr<Workload> master, Partitioner partitioner,
-                std::size_t shard);
+                std::size_t shard, const FleetFaultPlan* faults = nullptr);
 
   const std::vector<FileSpec>& files() const override {
     return master_->files();
@@ -40,11 +44,15 @@ class ShardWorkload : public Workload {
   std::size_t shard() const { return shard_; }
   /// Master draws consumed so far (foreign-shard requests included).
   std::uint64_t master_consumed() const { return master_consumed_; }
+  /// Master-stream index of the request the last next() returned — the
+  /// fleet's deterministic clock, which outage schedules are keyed on.
+  std::uint64_t last_master_index() const { return master_consumed_ - 1; }
 
  private:
   std::unique_ptr<Workload> master_;
   Partitioner partitioner_;
   std::size_t shard_;
+  const FleetFaultPlan* faults_;
   std::uint64_t master_consumed_ = 0;
 };
 

@@ -93,6 +93,14 @@ void PageCache::flush(const WritebackFn& writeback) {
   });
 }
 
+void PageCache::clear() {
+  cache_.for_each([](const PageKey&, CachedPage& page) {
+    PIPETTE_ASSERT_MSG(!page.dirty, "clear() with dirty pages: flush first");
+  });
+  cache_.clear();
+  streams_.clear();
+}
+
 void PageCache::set_capacity_pages(std::uint64_t pages) {
   cache_.set_capacity(std::max<std::uint64_t>(1, pages),
                       [this](const PageKey& k, CachedPage& p) {

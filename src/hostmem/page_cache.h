@@ -97,6 +97,11 @@ class PageCache {
   /// Flush all dirty pages through `writeback`.
   void flush(const WritebackFn& writeback);
 
+  /// Drop every resident page and all read-ahead stream state (cold
+  /// restart). Cumulative statistics are preserved; callers must flush
+  /// dirty pages first — clearing asserts nothing dirty remains.
+  void clear();
+
   /// Set the writeback sink used when dirty pages are evicted/invalidated.
   void set_writeback(WritebackFn writeback) { writeback_ = std::move(writeback); }
 

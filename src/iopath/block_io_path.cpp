@@ -24,10 +24,10 @@ BlockIoPath::BlockIoPath(Simulator& sim, SsdController& ssd, FileSystem& fs,
   });
 }
 
-void BlockIoPath::fetch_pages(FileId file,
+bool BlockIoPath::fetch_pages(FileId file,
                               const std::vector<std::uint64_t>& pages,
                               std::uint64_t last_demand_page) {
-  if (pages.empty()) return;
+  if (pages.empty()) return true;
   // LBA extraction for the fetch set (one mapping pass, ext4 extent walk).
   sim_.advance(timing_.fs_extent_lookup);
   std::vector<Lba> lbas;
@@ -42,7 +42,7 @@ void BlockIoPath::fetch_pages(FileId file,
   }
   // Page allocation for everything about to enter the cache.
   sim_.advance(timing_.page_alloc * pages.size());
-  block_layer_.read_pages(
+  return block_layer_.read_pages(
       std::move(lbas), [&](Lba lba, const std::uint8_t* data) {
         auto it = lba_to_page.find(lba);
         PIPETTE_ASSERT(it != lba_to_page.end());
@@ -74,15 +74,17 @@ void BlockIoPath::fetch_pages_async(FileId file,
         auto it = lba_to_page->find(lba);
         PIPETTE_ASSERT(it != lba_to_page->end());
         // A page written or demand-fetched while this read-ahead was in
-        // flight must not be clobbered with stale bytes.
-        if (!cache_.contains({file, it->second})) {
+        // flight must not be clobbered with stale bytes. Null data marks a
+        // failed run: retire the in-flight entry without inserting, so a
+        // later demand read re-issues the I/O instead of hanging.
+        if (data != nullptr && !cache_.contains({file, it->second})) {
           cache_.insert({file, it->second}, data, /*demand=*/false);
         }
         inflight_.erase({file, it->second});
       });
 }
 
-void BlockIoPath::buffered_read(FileId file, std::uint64_t offset,
+bool BlockIoPath::buffered_read(FileId file, std::uint64_t offset,
                                 std::span<std::uint8_t> out) {
   const std::uint64_t first_page = offset / kBlockSize;
   const std::uint64_t last_page = (offset + out.size() - 1) / kBlockSize;
@@ -111,6 +113,7 @@ void BlockIoPath::buffered_read(FileId file, std::uint64_t offset,
     if (!cache_.contains(key)) missing.push_back(p);
   }
 
+  bool fetched_ok = true;
   if (!missing.empty()) {
     // Read-ahead planning keys off the first missing page. The demanded
     // pages block this read; the read-ahead window is fetched
@@ -125,12 +128,13 @@ void BlockIoPath::buffered_read(FileId file, std::uint64_t offset,
       if (p >= file_pages) break;
       if (!cache_.contains({file, p})) ra.push_back(p);
     }
-    fetch_pages(file, missing, last_page);
+    fetched_ok = fetch_pages(file, missing, last_page);
     if (!ra.empty()) fetch_pages_async(file, ra);
   }
 
   // Copy out of the page cache. Pages were just inserted, so they are
-  // resident (MRU) unless capacity is smaller than the request span.
+  // resident (MRU) unless capacity is smaller than the request span — or a
+  // media error kept one from ever arriving.
   std::uint64_t pos = offset;
   std::size_t copied = 0;
   while (copied < out.size()) {
@@ -139,6 +143,7 @@ void BlockIoPath::buffered_read(FileId file, std::uint64_t offset,
     const std::uint32_t take = static_cast<std::uint32_t>(
         std::min<std::uint64_t>(kBlockSize - in_page, out.size() - copied));
     const CachedPage* cp = cache_.get({file, page});
+    if (cp == nullptr && !fetched_ok) return false;  // unreadable page
     PIPETTE_ASSERT_MSG(cp != nullptr,
                        "page evicted before copy-out; page cache smaller "
                        "than a single request span");
@@ -147,6 +152,7 @@ void BlockIoPath::buffered_read(FileId file, std::uint64_t offset,
     copied += take;
     pos += take;
   }
+  return true;
 }
 
 SimDuration BlockIoPath::read(FileId file, int /*open_flags*/,
@@ -154,13 +160,17 @@ SimDuration BlockIoPath::read(FileId file, int /*open_flags*/,
                               std::span<std::uint8_t> out) {
   const SimTime t0 = sim_.now();
   sim_.advance(timing_.syscall + timing_.vfs_lookup);
-  buffered_read(file, offset, out);
+  const bool ok = buffered_read(file, offset, out);
   const SimDuration latency = sim_.now() - t0;
+  if (!ok) {
+    ++stats_.failed_reads;
+    return latency;
+  }
   note_read(out.size(), latency);
   return latency;
 }
 
-void BlockIoPath::buffered_write(FileId file, std::uint64_t offset,
+bool BlockIoPath::buffered_write(FileId file, std::uint64_t offset,
                                  std::span<const std::uint8_t> data) {
   // Buffered write: read-modify-write partial pages, overwrite full ones,
   // mark everything dirty. Writeback happens on eviction or sync().
@@ -180,7 +190,8 @@ void BlockIoPath::buffered_write(FileId file, std::uint64_t offset,
         sim_.advance(timing_.page_alloc);
         cache_.insert({file, page}, fresh.data(), /*demand=*/true);
       } else {
-        fetch_pages(file, {page}, page);  // read-modify-write
+        // Read-modify-write: an unreadable source page fails the write.
+        if (!fetch_pages(file, {page}, page)) return false;
       }
       cp = cache_.get({file, page});
       PIPETTE_ASSERT(cp != nullptr);
@@ -191,6 +202,7 @@ void BlockIoPath::buffered_write(FileId file, std::uint64_t offset,
     written += take;
     pos += take;
   }
+  return true;
 }
 
 SimDuration BlockIoPath::write(FileId file, int /*open_flags*/,
@@ -198,8 +210,11 @@ SimDuration BlockIoPath::write(FileId file, int /*open_flags*/,
                                std::span<const std::uint8_t> data) {
   const SimTime t0 = sim_.now();
   sim_.advance(timing_.syscall + timing_.vfs_lookup);
-  buffered_write(file, offset, data);
-  ++stats_.writes;
+  if (buffered_write(file, offset, data)) {
+    ++stats_.writes;
+  } else {
+    ++stats_.failed_writes;
+  }
   return sim_.now() - t0;
 }
 

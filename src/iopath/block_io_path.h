@@ -33,17 +33,19 @@ class BlockIoPath : public ReadPathBase {
 
   /// The data-path work shared with PipettePath's block route: page-cache
   /// consult, read-ahead, fetch, and copy-out. Excludes syscall/VFS entry
-  /// costs (the caller charges those).
-  void buffered_read(FileId file, std::uint64_t offset,
+  /// costs (the caller charges those). Returns false when a device media
+  /// error left part of the request unreadable (`out` is then incomplete).
+  bool buffered_read(FileId file, std::uint64_t offset,
                      std::span<std::uint8_t> out);
-  void buffered_write(FileId file, std::uint64_t offset,
+  bool buffered_write(FileId file, std::uint64_t offset,
                       std::span<const std::uint8_t> data);
 
  private:
   /// Fetch the given logical pages of `file` (plus nothing else) into the
   /// page cache; pages already resident are skipped. `demand_until` marks
   /// pages <= that index as demand-fetched (the rest are read-ahead).
-  void fetch_pages(FileId file, const std::vector<std::uint64_t>& pages,
+  /// Returns false if any page failed with a media error (it stays absent).
+  bool fetch_pages(FileId file, const std::vector<std::uint64_t>& pages,
                    std::uint64_t last_demand_page);
 
   /// Asynchronous read-ahead fetch: submits and returns; pages land in the

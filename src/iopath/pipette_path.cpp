@@ -22,8 +22,39 @@ PipettePath::PipettePath(Simulator& sim, SsdController& ssd, FileSystem& fs,
       ssd_.hmb(), config_.fgrc, &block_.page_cache().hit_counter());
 }
 
-void PipettePath::fine_read(FileId file, std::uint64_t offset,
-                            std::span<std::uint8_t> out) {
+void PipettePath::reset_fgrc() {
+  const FgrcStats saved = fgrc_->stats();
+  fgrc_ = std::make_unique<FineGrainedReadCache>(
+      ssd_.hmb(), config_.fgrc, &block_.page_cache().hit_counter());
+  fgrc_->restore_stats(saved);
+}
+
+bool PipettePath::await_completion() {
+  const SimDuration guard = ssd_.config().faults.hmb.timeout;
+  if (guard == 0) {
+    const bool completed =
+        sim_.run_until_condition([this] { return wait_done_; });
+    PIPETTE_ASSERT_MSG(completed,
+                       "fine-grained command never completed (set the HMB "
+                       "fault timeout to fail the request instead)");
+    return true;
+  }
+  const SimTime deadline = sim_.now() + guard;
+  if (sim_.run_until_condition_before([this] { return wait_done_; },
+                                      deadline)) {
+    return true;
+  }
+  // Lost completion: charge the full guard interval, then invalidate the
+  // outstanding ticket so a late completion cannot touch this wait's state.
+  if (sim_.now() < deadline) sim_.advance(deadline - sim_.now());
+  ++wait_ticket_;
+  ++pstats_.lost_completions;
+  return false;
+}
+
+PipettePath::FineOutcome PipettePath::fine_read(FileId file,
+                                                std::uint64_t offset,
+                                                std::span<std::uint8_t> out) {
   ++pstats_.fine_reads;
   const std::uint64_t first_page = offset / kBlockSize;
   const std::uint64_t last_page = (offset + out.size() - 1) / kBlockSize;
@@ -43,8 +74,8 @@ void PipettePath::fine_read(FileId file, std::uint64_t offset,
   }
   if (any_resident) {
     ++pstats_.page_cache_served_fine;
-    block_.buffered_read(file, offset, out);
-    return;
+    return block_.buffered_read(file, offset, out) ? FineOutcome::kOk
+                                                   : FineOutcome::kFailed;
   }
 
   // Page-cache miss: the Detector verifies permission (already routed) and
@@ -74,7 +105,7 @@ void PipettePath::fine_read(FileId file, std::uint64_t offset,
       PIPETTE_ASSERT(hit->size() == out.size());
       std::memcpy(out.data(), hit->data(), out.size());
       sim_.advance(timing_.copy_cost(out.size()));
-      return;
+      return FineOutcome::kOk;
     }
   }
 
@@ -109,14 +140,36 @@ void PipettePath::fine_read(FileId file, std::uint64_t offset,
     cmd.ranges.push_back({r.lba, r.offset, r.len, idx});
     dest += r.len;
   }
-  bool done = false;
-  ssd_.submit(std::move(cmd), [&](const CommandResult&) { done = true; });
-  PIPETTE_ASSERT(sim_.run_until_condition([&] { return done; }));
+  wait_done_ = false;
+  const std::uint64_t ticket = ++wait_ticket_;
+  ssd_.submit(std::move(cmd), [this, ticket](const CommandResult& r) {
+    if (ticket != wait_ticket_) return;  // stale: that wait timed out
+    wait_result_ = r;
+    wait_done_ = true;
+  });
+  if (!await_completion()) {
+    // Dropped completion: the reserved FGRC slot never got its bytes.
+    fgrc_->abort_fill(key, plan);
+    return FineOutcome::kFailed;
+  }
+  if (wait_result_.status == CmdStatus::kHmbFault) {
+    // The engine could not reach its HMB destinations. Degrade gracefully:
+    // evict the poisoned reservation and serve through the block path.
+    ++pstats_.hmb_fault_fallbacks;
+    fgrc_->abort_fill(key, plan);
+    return block_.buffered_read(file, offset, out) ? FineOutcome::kDegraded
+                                                   : FineOutcome::kFailed;
+  }
+  if (wait_result_.status == CmdStatus::kMediaError) {
+    fgrc_->abort_fill(key, plan);
+    return FineOutcome::kFailed;
+  }
 
   // The demanded bytes are in the HMB (cache item or TempBuf); hand them
   // to the user.
   ssd_.hmb().read(plan.dest, out);
   sim_.advance(timing_.copy_cost(out.size()));
+  return FineOutcome::kOk;
 }
 
 SimDuration PipettePath::read(FileId file, int open_flags,
@@ -137,24 +190,32 @@ SimDuration PipettePath::read(FileId file, int open_flags,
     route = Route::kBlock;
   }
 
+  FineOutcome outcome;
   if (route == Route::kBlock) {
     ++pstats_.block_reads;
-    block_.buffered_read(file, offset, out);
+    outcome = block_.buffered_read(file, offset, out) ? FineOutcome::kOk
+                                                      : FineOutcome::kFailed;
   } else {
-    fine_read(file, offset, out);
+    outcome = fine_read(file, offset, out);
   }
   const SimDuration latency = sim_.now() - t0;
+  if (outcome == FineOutcome::kFailed) {
+    ++stats_.failed_reads;
+    return latency;
+  }
+  if (outcome == FineOutcome::kDegraded) ++stats_.degraded_reads;
   note_read(out.size(), latency);
   return latency;
 }
 
-bool PipettePath::try_fine_write(FileId file, int open_flags,
-                                 std::uint64_t offset,
-                                 std::span<const std::uint8_t> data) {
-  if (!config_.fine_writes || !config_.use_cache) return false;
-  if (!FineGrainedAccessDetector::permitted(open_flags)) return false;
-  if (data.size() >= kBlockSize) return false;
-  if (data.size() > ssd_.hmb().tempbuf().size()) return false;
+PipettePath::FineWriteOutcome PipettePath::try_fine_write(
+    FileId file, int open_flags, std::uint64_t offset,
+    std::span<const std::uint8_t> data) {
+  using Out = FineWriteOutcome;
+  if (!config_.fine_writes || !config_.use_cache) return Out::kNotTaken;
+  if (!FineGrainedAccessDetector::permitted(open_flags)) return Out::kNotTaken;
+  if (data.size() >= kBlockSize) return Out::kNotTaken;
+  if (data.size() > ssd_.hmb().tempbuf().size()) return Out::kNotTaken;
 
   // Any spanned page that is dirty in the page cache holds newer bytes than
   // flash; a device-side RMW would resurrect stale data. Fall back to the
@@ -164,7 +225,7 @@ bool PipettePath::try_fine_write(FileId file, int open_flags,
   for (std::uint64_t p = first_page; p <= last_page; ++p) {
     sim_.advance(timing_.page_cache_lookup);
     const CachedPage* cp = block_.page_cache().get({file, p});
-    if (cp != nullptr && cp->dirty) return false;
+    if (cp != nullptr && cp->dirty) return Out::kNotTaken;
   }
   // Clean resident copies become stale the moment the device writes; drop
   // them.
@@ -196,11 +257,22 @@ bool PipettePath::try_fine_write(FileId file, int open_flags,
   for (const LbaRange& r : lba_scratch_) {
     cmd.ranges.push_back({r.lba, r.offset, r.len, 0});
   }
-  bool done = false;
-  ssd_.submit(std::move(cmd), [&](const CommandResult&) { done = true; });
-  PIPETTE_ASSERT(sim_.run_until_condition([&] { return done; }));
+  wait_done_ = false;
+  const std::uint64_t ticket = ++wait_ticket_;
+  ssd_.submit(std::move(cmd), [this, ticket](const CommandResult& r) {
+    if (ticket != wait_ticket_) return;
+    wait_result_ = r;
+    wait_done_ = true;
+  });
+  if (!await_completion() || wait_result_.status != CmdStatus::kOk) {
+    // The device-side RMW did not (fully) persist. Drop anything the cache
+    // holds for this range — including the in-place update above — so later
+    // reads cannot see bytes that never reached flash.
+    fgrc_->invalidate_range(file, offset, data.size());
+    return Out::kFailed;
+  }
   ++pstats_.fine_writes;
-  return true;
+  return Out::kOk;
 }
 
 SimDuration PipettePath::write(FileId file, int open_flags,
@@ -209,9 +281,15 @@ SimDuration PipettePath::write(FileId file, int open_flags,
   const SimTime t0 = sim_.now();
   sim_.advance(timing_.syscall + timing_.vfs_lookup);
 
-  if (try_fine_write(file, open_flags, offset, data)) {
-    ++stats_.writes;
-    return sim_.now() - t0;
+  switch (try_fine_write(file, open_flags, offset, data)) {
+    case FineWriteOutcome::kOk:
+      ++stats_.writes;
+      return sim_.now() - t0;
+    case FineWriteOutcome::kFailed:
+      ++stats_.failed_writes;
+      return sim_.now() - t0;
+    case FineWriteOutcome::kNotTaken:
+      break;
   }
 
   // §3.1.3: every write checks the fine-grained read cache and deletes the
@@ -219,9 +297,12 @@ SimDuration PipettePath::write(FileId file, int open_flags,
   // copy or the post-flush flash state — never the stale cached bytes.
   sim_.advance(timing_.fgrc_lookup);
   fgrc_->invalidate_range(file, offset, data.size());
-  block_.buffered_write(file, offset, data);
-  ++pstats_.block_writes;
-  ++stats_.writes;
+  if (block_.buffered_write(file, offset, data)) {
+    ++pstats_.block_writes;
+    ++stats_.writes;
+  } else {
+    ++stats_.failed_writes;
+  }
   return sim_.now() - t0;
 }
 

@@ -49,6 +49,10 @@ struct PipettePathStats {
   std::uint64_t fine_writes = 0;
   std::uint64_t block_writes = 0;
   std::uint64_t fgrc_inplace_updates = 0;
+  std::uint64_t hmb_fault_fallbacks = 0;  // FG_READ hit an HMB fault and the
+                                          // request degraded to the block path
+  std::uint64_t lost_completions = 0;     // timeout guard fired on a dropped
+                                          // FG_READ completion
 };
 
 class PipettePath : public ReadPathBase {
@@ -67,13 +71,32 @@ class PipettePath : public ReadPathBase {
   const PipettePathStats& pipette_stats() const { return pstats_; }
   bool cache_enabled() const { return config_.use_cache; }
 
+  /// Cold-restart support: rebuild the FGRC, dropping every cached item
+  /// (the slab store re-carves the HMB Data Area from scratch) while
+  /// preserving cumulative statistics.
+  void reset_fgrc();
+
  private:
-  void fine_read(FileId file, std::uint64_t offset,
-                 std::span<std::uint8_t> out);
-  /// True if the fine write path can take this request (routing + page
-  /// cache dirtiness checks); performs it when it can.
-  bool try_fine_write(FileId file, int open_flags, std::uint64_t offset,
-                      std::span<const std::uint8_t> data);
+  enum class FineOutcome {
+    kOk,        // request served through the intended route
+    kDegraded,  // served, but only via the block-path fallback
+    kFailed,    // device fault no route could mask
+  };
+
+  FineOutcome fine_read(FileId file, std::uint64_t offset,
+                        std::span<std::uint8_t> out);
+
+  enum class FineWriteOutcome { kNotTaken, kOk, kFailed };
+  /// kNotTaken if the fine write path cannot take this request (routing +
+  /// page cache dirtiness checks); otherwise performs it.
+  FineWriteOutcome try_fine_write(FileId file, int open_flags,
+                                  std::uint64_t offset,
+                                  std::span<const std::uint8_t> data);
+
+  /// Closed-loop wait for the submitted command, honouring the HMB timeout
+  /// guard. Returns false if the guard expired with no completion (the
+  /// completion's ticket is then stale and will be ignored on arrival).
+  bool await_completion();
 
   PipettePathConfig config_;
   BlockIoPath block_;  // the unchanged traditional path
@@ -84,6 +107,13 @@ class PipettePath : public ReadPathBase {
   // hot path performs no heap allocation in steady state (Command::ranges
   // is likewise recycled through the controller's FgRange pool).
   std::vector<LbaRange> lba_scratch_;
+  // Submit-and-wait state for closed-loop commands. The ticket
+  // distinguishes the current wait from one that timed out: a completion
+  // arriving after its wait was abandoned carries a stale ticket and is
+  // dropped instead of scribbling on long-gone state.
+  std::uint64_t wait_ticket_ = 0;
+  bool wait_done_ = false;
+  CommandResult wait_result_{};
 };
 
 }  // namespace pipette

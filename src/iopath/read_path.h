@@ -22,6 +22,9 @@ struct PathStats {
   std::uint64_t reads = 0;
   std::uint64_t writes = 0;
   std::uint64_t bytes_requested = 0;
+  std::uint64_t failed_reads = 0;    // device fault the path couldn't mask
+  std::uint64_t degraded_reads = 0;  // served, but via a fallback route
+  std::uint64_t failed_writes = 0;
   LatencyHistogram read_latency;
 };
 
@@ -36,6 +39,18 @@ class ReadPathBase : public IoBackend {
   /// Mean read latency so far, in nanoseconds.
   double mean_read_latency_ns() const {
     return stats_.read_latency.mean_ns();
+  }
+
+  /// Refuse a request without touching the device (fleet fail-fast when the
+  /// owning shard is down): charges `latency` of host time and counts a
+  /// failed read/write. Successful-read statistics are untouched.
+  void reject_request(bool is_write, SimDuration latency) {
+    sim_.advance(latency);
+    if (is_write) {
+      ++stats_.failed_writes;
+    } else {
+      ++stats_.failed_reads;
+    }
   }
 
  protected:

@@ -25,18 +25,29 @@ SimDuration TwoBSsdPath::read(FileId file, int /*open_flags*/,
     Command cmd;
     cmd.op = Opcode::kReadToCmb;
     cmd.lba = r.lba;
-    bool done = false;
-    std::uint32_t slot = 0;
-    ssd_.submit(std::move(cmd), [&](const CommandResult& res) {
-      done = true;
-      slot = res.cmb_slot;
+    // One pointer capture keeps the completion inside std::function's
+    // inline buffer.
+    struct WaitState {
+      bool done = false;
+      std::uint32_t slot = 0;
+      CmdStatus status = CmdStatus::kOk;
+    } st;
+    ssd_.submit(std::move(cmd), [&st](const CommandResult& res) {
+      st.done = true;
+      st.slot = res.cmb_slot;
+      st.status = res.status;
     });
-    PIPETTE_ASSERT(sim_.run_until_condition([&] { return done; }));
+    PIPETTE_ASSERT(sim_.run_until_condition([&st] { return st.done; }));
+    if (st.status != CmdStatus::kOk) {
+      // Media error: the page never reached the CMB; fail the read.
+      ++stats_.failed_reads;
+      return sim_.now() - t0;
+    }
 
     // Pull the demanded bytes out of the CMB window.
     auto dest = out.subspan(copied, r.len);
     const SimDuration pull =
-        ssd_.read_from_cmb(slot, r.offset, dest, mode_ == TwoBMode::kDma);
+        ssd_.read_from_cmb(st.slot, r.offset, dest, mode_ == TwoBMode::kDma);
     sim_.advance(pull);
     copied += r.len;
   }

@@ -43,16 +43,17 @@ SimDuration NandTiming::t_prog() const {
 }
 
 NandArray::NandArray(Simulator& sim, NandGeometry geometry, NandTiming timing,
-                     NandFaultModel faults)
+                     NandFaultPlan faults, std::uint64_t fault_seed)
     : sim_(sim),
       geometry_(geometry),
       timing_(timing),
       faults_(faults),
-      fault_rng_(faults.seed),
+      injector_(fault_seed, FaultDomain::kNand),
       die_busy_until_(geometry.dies(), 0),
       channel_busy_until_(geometry.channels, 0) {
   PIPETTE_ASSERT(geometry_.channels > 0 && geometry_.ways_per_channel > 0);
   PIPETTE_ASSERT(geometry_.page_size > 0);
+  PIPETTE_ASSERT(faults_.max_attempts > 0);
 }
 
 std::size_t NandArray::die_index(const PhysPageAddr& addr) const {
@@ -70,21 +71,31 @@ SimTime NandArray::die_free_at(const PhysPageAddr& addr) const {
   return die_busy_until_[die_index(addr)];
 }
 
-void NandArray::read_page(const PhysPageAddr& addr, DoneCallback on_done,
-                          std::uint32_t transfer_bytes) {
+NandReadOutcome NandArray::read_page(const PhysPageAddr& addr,
+                                     DoneCallback on_done,
+                                     std::uint32_t transfer_bytes) {
   check_addr(addr);
   if (transfer_bytes == 0) transfer_bytes = geometry_.page_size;
   PIPETTE_ASSERT(transfer_bytes <= geometry_.page_size);
 
   const std::size_t die = die_index(addr);
+  NandReadOutcome outcome;
   SimDuration sense = timing_.t_read();
-  if (faults_.read_retry_probability > 0.0 &&
-      fault_rng_.next_bool(faults_.read_retry_probability)) {
-    const std::uint32_t retries =
-        1 + static_cast<std::uint32_t>(fault_rng_.next_below(
-                faults_.max_retries));
-    sense += retries * timing_.t_read();
-    stats_.read_retries += retries;
+  if (faults_.read_error_rate > 0.0) {
+    // Each failed sensing pass triggers a read-retry after an exponential
+    // backoff (the controller re-tunes read reference voltages between
+    // passes). After max_attempts failed passes the read is a terminal ECC
+    // failure: the die time is still spent, but nothing crosses the bus.
+    while (injector_.fire(faults_.read_error_rate)) {
+      if (outcome.attempts == faults_.max_attempts) {
+        outcome.failed = true;
+        break;
+      }
+      sense += (faults_.backoff_base << (outcome.attempts - 1)) +
+               timing_.t_read();
+      ++outcome.attempts;
+    }
+    stats_.read_retries += outcome.attempts - 1;
   }
 
   // Array sensing occupies the die.
@@ -92,6 +103,14 @@ void NandArray::read_page(const PhysPageAddr& addr, DoneCallback on_done,
       std::max(sim_.now() + timing_.command_overhead, die_busy_until_[die]);
   const SimTime sense_end = sense_start + sense;
   die_busy_until_[die] = sense_end;
+
+  ++stats_.page_reads;
+  if (outcome.failed) {
+    // No data to transfer: complete at sense end without touching the bus.
+    ++stats_.read_failures;
+    sim_.schedule_at(sense_end, std::move(on_done));
+    return outcome;
+  }
 
   // Bus transfer occupies the channel after sensing completes.
   const SimTime xfer_start =
@@ -101,9 +120,9 @@ void NandArray::read_page(const PhysPageAddr& addr, DoneCallback on_done,
                        timing_.channel_ns_per_byte * transfer_bytes);
   channel_busy_until_[addr.channel] = xfer_end;
 
-  ++stats_.page_reads;
   stats_.bytes_transferred += transfer_bytes;
   sim_.schedule_at(xfer_end, std::move(on_done));
+  return outcome;
 }
 
 void NandArray::program_page(const PhysPageAddr& addr, DoneCallback on_done) {

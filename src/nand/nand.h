@@ -12,10 +12,10 @@
 #include <cstdint>
 #include <vector>
 
-#include "common/rng.h"
 #include "common/stats.h"
 #include "common/units.h"
 #include "des/simulator.h"
+#include "faults/faults.h"
 
 namespace pipette {
 
@@ -69,19 +69,21 @@ struct PhysPageAddr {
   bool operator==(const PhysPageAddr&) const = default;
 };
 
-/// Optional fault model: probability that a page read needs `retries` extra
-/// sensing passes (read-retry on raw bit-error spikes).
-struct NandFaultModel {
-  double read_retry_probability = 0.0;
-  std::uint32_t max_retries = 3;
-  std::uint64_t seed = 0x5eed;
-};
-
 struct NandStats {
   std::uint64_t page_reads = 0;
   std::uint64_t page_programs = 0;
-  std::uint64_t read_retries = 0;
+  std::uint64_t read_retries = 0;   // extra sensing passes beyond the first
+  std::uint64_t read_failures = 0;  // terminal ECC failures (no transfer)
   std::uint64_t bytes_transferred = 0;
+};
+
+/// Synchronous verdict of a read_page() call. The timing (die busy for
+/// every sensing pass + backoff, then the channel transfer on success) is
+/// still charged through the event queue; the outcome itself is decided at
+/// submission so callers can park it next to their completion.
+struct NandReadOutcome {
+  std::uint32_t attempts = 1;  // sensing passes performed
+  bool failed = false;         // all attempts failed: no data transferred
 };
 
 class NandArray {
@@ -91,14 +93,19 @@ class NandArray {
   // (Simulator::Callback::kInlineBytes) and they never heap-allocate.
   using DoneCallback = Simulator::Callback;
 
+  /// `faults` + `fault_seed` configure the injected read-error stream (the
+  /// injector draws from the kNand sub-stream of `fault_seed`); a zero-rate
+  /// plan consumes no randomness regardless of the seed.
   NandArray(Simulator& sim, NandGeometry geometry, NandTiming timing,
-            NandFaultModel faults = {});
+            NandFaultPlan faults = {}, std::uint64_t fault_seed = 0xfa17);
 
-  /// Read one full page: die busy for tR (+retries), then the channel bus
-  /// transfers `transfer_bytes` (defaults to the full page) to the
-  /// controller. `on_done` fires when the data is in the controller buffer.
-  void read_page(const PhysPageAddr& addr, DoneCallback on_done,
-                 std::uint32_t transfer_bytes = 0);
+  /// Read one full page: die busy for tR (+ injected retry passes and their
+  /// backoff), then the channel bus transfers `transfer_bytes` (defaults to
+  /// the full page) to the controller. `on_done` fires when the data is in
+  /// the controller buffer — or, on a terminal ECC failure, at sense end
+  /// with no transfer; the returned outcome says which.
+  NandReadOutcome read_page(const PhysPageAddr& addr, DoneCallback on_done,
+                            std::uint32_t transfer_bytes = 0);
 
   /// Program one full page; `on_done` fires at program completion.
   void program_page(const PhysPageAddr& addr, DoneCallback on_done);
@@ -117,8 +124,8 @@ class NandArray {
   Simulator& sim_;
   NandGeometry geometry_;
   NandTiming timing_;
-  NandFaultModel faults_;
-  Rng fault_rng_;
+  NandFaultPlan faults_;
+  FaultInjector injector_;
   NandStats stats_;
   std::vector<SimTime> die_busy_until_;
   std::vector<SimTime> channel_busy_until_;

@@ -122,6 +122,13 @@ MissPlan FineGrainedReadCache::plan_miss(const FgKey& key) {
   return plan;
 }
 
+void FineGrainedReadCache::abort_fill(const FgKey& key, const MissPlan& plan) {
+  ++stats_.aborted_fills;
+  if (!plan.promoted) return;  // TempBuf staging: nothing was reserved
+  remove_index_entry(key, plan.loc);
+  store_.free_item(plan.loc);
+}
+
 void FineGrainedReadCache::remove_index_entry(const FgKey& key, ItemLoc loc) {
   index_.erase(key);
   auto table_it = tables_.find(key.file);

@@ -51,6 +51,7 @@ struct FgrcStats {
   std::uint64_t pressure_evictions = 0;
   std::uint64_t pressure_migrations = 0;
   std::uint64_t reassigned_slabs = 0;
+  std::uint64_t aborted_fills = 0;  // reserved slots poisoned by failed fills
 };
 
 /// Where a fine-grained miss's bytes should land.
@@ -74,6 +75,15 @@ class FineGrainedReadCache {
   /// Miss path: decide placement for the incoming bytes and reserve it.
   /// Called after lookup() returned nullopt for this key.
   MissPlan plan_miss(const FgKey& key);
+
+  /// The fill that plan_miss() reserved never delivered its bytes (device
+  /// fault). Evict the poisoned reservation so a later lookup can never
+  /// serve garbage; a plain TempBuf plan needs no cleanup.
+  void abort_fill(const FgKey& key, const MissPlan& plan);
+
+  /// Reinstall externally saved statistics (used by cold restarts, which
+  /// rebuild the cache but must not reset cumulative counters).
+  void restore_stats(const FgrcStats& stats) { stats_ = stats; }
 
   /// Delete any cached items overlapping a write to [offset, offset+len)
   /// of `file` (§3.1.3 consistency rule), except an optional `keep` key

@@ -18,6 +18,11 @@ RunResult run_experiment(const MachineConfig& config, Workload& workload,
 
 RunResult run_experiment_on(Machine& machine, Workload& workload,
                             const RunConfig& run) {
+  return run_experiment_on(machine, workload, run, RunHooks{});
+}
+
+RunResult run_experiment_on(Machine& machine, Workload& workload,
+                            const RunConfig& run, const RunHooks& hooks) {
   const auto host_t0 = std::chrono::steady_clock::now();
   Vfs& vfs = machine.vfs();
 
@@ -27,7 +32,7 @@ RunResult run_experiment_on(Machine& machine, Workload& workload,
   }
 
   std::vector<std::uint8_t> buf(64 * 1024);
-  auto issue = [&](const Request& req) {
+  auto issue_direct = [&](const Request& req) {
     PIPETTE_ASSERT(req.len <= buf.size());
     PIPETTE_ASSERT(req.file_index < fds.size());
     const int fd = fds[req.file_index];
@@ -37,6 +42,12 @@ RunResult run_experiment_on(Machine& machine, Workload& workload,
       vfs.pread(fd, req.offset, {buf.data(), req.len});
     }
   };
+  RunHooks::IssueFn issue_fn;
+  if (hooks.on_request) issue_fn = issue_direct;
+  auto issue = [&](const Request& req) {
+    if (hooks.on_request && hooks.on_request(req, issue_fn)) return;
+    issue_direct(req);
+  };
 
   for (std::uint64_t i = 0; i < run.warmup; ++i) issue(workload.next());
 
@@ -45,6 +56,9 @@ RunResult run_experiment_on(Machine& machine, Workload& workload,
   const SimTime t0 = machine.sim().now();
   const std::uint64_t reads0 = machine.path().stats().reads;
   const std::uint64_t bytes0 = machine.path().stats().bytes_requested;
+  const std::uint64_t failed0 = machine.path().stats().failed_reads;
+  const std::uint64_t degraded0 = machine.path().stats().degraded_reads;
+  const std::uint64_t retries0 = machine.ssd().nand().stats().read_retries;
   RatioCounter pc0, fgrc0;
   if (PageCache* pc = machine.page_cache()) pc0 = pc->stats().lookups;
   if (PipettePath* p = machine.pipette_path())
@@ -60,6 +74,9 @@ RunResult run_experiment_on(Machine& machine, Workload& workload,
   result.bytes_requested = machine.path().stats().bytes_requested - bytes0;
   result.elapsed = machine.sim().now() - t0;
   result.traffic_bytes = machine.io_traffic_bytes() - traffic0;
+  result.failed_reads = machine.path().stats().failed_reads - failed0;
+  result.degraded_reads = machine.path().stats().degraded_reads - degraded0;
+  result.retries = machine.ssd().nand().stats().read_retries - retries0;
 
   // Measured-phase latency distribution: subtract the warmup snapshot
   // bucket-wise, so mean and percentiles all describe exactly the measured

@@ -43,6 +43,15 @@ struct RunResult {
   std::uint64_t page_cache_bytes = 0;  // resident at end of run
   std::uint64_t fgrc_bytes = 0;        // FGRC memory at end of run
 
+  // Fault-model counters, all over the measured phase. `retries` counts
+  // extra NAND sensing passes plus any fleet-level client retries;
+  // `down_requests` counts requests that arrived while the owning shard was
+  // down (fleet runs only).
+  std::uint64_t retries = 0;
+  std::uint64_t failed_reads = 0;
+  std::uint64_t degraded_reads = 0;
+  std::uint64_t down_requests = 0;
+
   /// Full measured-phase read-latency distribution (the histogram behind
   /// mean/p50/p99 above). Kept so a fleet of runs can merge distributions
   /// bucket-wise and report true cross-shard percentiles instead of
@@ -69,8 +78,19 @@ struct RunResult {
     return std::tie(path_name, requests, measured_reads, bytes_requested,
                     elapsed, traffic_bytes, mean_latency_us, p50_latency_us,
                     p99_latency_us, page_cache_hit_ratio, fgrc_hit_ratio,
-                    page_cache_bytes, fgrc_bytes, read_latency,
+                    page_cache_bytes, fgrc_bytes, retries, failed_reads,
+                    degraded_reads, down_requests, read_latency,
                     events_executed);
+  }
+
+  /// Fraction of measured reads that returned data (possibly degraded).
+  /// 1.0 when no read was attempted.
+  double availability() const {
+    const std::uint64_t attempted = measured_reads + failed_reads;
+    return attempted == 0
+               ? 1.0
+               : static_cast<double>(measured_reads) /
+                     static_cast<double>(attempted);
   }
 
   double requests_per_sec() const {
@@ -91,6 +111,15 @@ struct RunResult {
 RunResult run_experiment(const MachineConfig& config, Workload& workload,
                          const RunConfig& run);
 
+/// Per-request interception for fault-aware drivers (the fleet's shard
+/// outage policies). `on_request` sees every request before it is issued,
+/// together with the issuing closure; returning true means the hook consumed
+/// (or rejected) the request and the runner must not issue it itself.
+struct RunHooks {
+  using IssueFn = std::function<void(const Request&)>;
+  std::function<bool(const Request&, const IssueFn&)> on_request;
+};
+
 /// The same warmup + measurement flow on a caller-owned machine. This is
 /// what the fleet layer drives: each Shard owns its Machine (and with it a
 /// private Simulator) and pushes its sub-stream through it. The machine is
@@ -98,6 +127,10 @@ RunResult run_experiment(const MachineConfig& config, Workload& workload,
 /// across runs measures the second run against pre-warmed caches.
 RunResult run_experiment_on(Machine& machine, Workload& workload,
                             const RunConfig& run);
+
+/// Hooked variant; `hooks.on_request` (when set) wraps every issued request.
+RunResult run_experiment_on(Machine& machine, Workload& workload,
+                            const RunConfig& run, const RunHooks& hooks);
 
 /// One independent cell of an experiment matrix. The workload is constructed
 /// *inside* the task (each cell gets a fresh, deterministically seeded

@@ -99,6 +99,18 @@ PageCache* Machine::page_cache() {
   return nullptr;
 }
 
+void Machine::cold_restart() {
+  // Persist dirty pages first — a page cache clear must not lose writes the
+  // workload already considers durable after recovery.
+  if (BlockIoPath* b = block_path()) {
+    b->sync();
+  } else if (PipettePath* p = pipette_path()) {
+    p->block_route().sync();
+  }
+  if (PageCache* pc = page_cache()) pc->clear();
+  if (PipettePath* p = pipette_path()) p->reset_fgrc();
+}
+
 MachineConfig default_machine(PathKind kind) {
   MachineConfig config;
   config.kind = kind;

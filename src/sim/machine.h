@@ -41,6 +41,12 @@ class Machine {
   /// O_FINE_GRAINED).
   int open_flags(bool writable) const;
 
+  /// Shard-recovery support: flush dirty pages, then drop all host cache
+  /// state (page cache + FGRC) as a machine restart would. Device state
+  /// (flash contents, FTL, device DRAM buffer) survives; cumulative
+  /// statistics are preserved.
+  void cold_restart();
+
  private:
   MachineConfig config_;
   Simulator sim_;

@@ -1,7 +1,7 @@
 // Machine configuration and the calibrated defaults used by the benchmark
 // harness.
 //
-// Calibration philosophy (see DESIGN.md §5 and EXPERIMENTS.md): the paper's
+// Calibration philosophy (see DESIGN.md §6 and EXPERIMENTS.md): the paper's
 // absolute numbers come from a YS9203 hardware prototype; this simulation
 // reproduces the *relative* behaviour. The constants below were chosen so
 // that the single-component costs match datasheet/kernel magnitudes (TLC tR

@@ -15,6 +15,18 @@ std::uint64_t resolve_lba_count(const ControllerConfig& config) {
 }
 }  // namespace
 
+const char* to_string(CmdStatus s) {
+  switch (s) {
+    case CmdStatus::kOk:
+      return "ok";
+    case CmdStatus::kMediaError:
+      return "media-error";
+    case CmdStatus::kHmbFault:
+      return "hmb-fault";
+  }
+  return "?";
+}
+
 // Shared state of one in-flight fine-grained command. Pooled: the record is
 // reused across commands, so the by-page grouping keeps its vector
 // capacities and the steady state allocates nothing.
@@ -23,6 +35,8 @@ struct SsdController::FgJob {
   Completion done;
   std::uint32_t pages_pending = 0;
   std::uint32_t ranges_pending = 0;
+  bool media_failed = false;      // some page exhausted its retry budget
+  bool drop_completion = false;   // injected lost CQ entry for this command
 
   struct PageGroup {
     Lba lba = kInvalidLba;
@@ -41,17 +55,20 @@ struct SsdController::BlockJob {
   Command cmd;
   Completion done;
   std::uint32_t remaining = 0;
+  bool failed = false;  // some page exhausted its retry budget
 };
 
 SsdController::SsdController(Simulator& sim, const ControllerConfig& config)
     : sim_(sim),
       config_(config),
       content_(config.content_seed),
-      nand_(sim, config.geometry, config.nand_timing, config.faults),
+      nand_(sim, config.geometry, config.nand_timing, config.faults.nand,
+            config.faults.seed),
       ftl_(config.geometry, resolve_lba_count(config)),
       pcie_(sim, config.pcie),
       hmb_(config.hmb),
       cmb_(config.cmb_slots),
+      hmb_faults_(config.faults.seed, FaultDomain::kHmbDma),
       read_buffer_(std::max<std::uint64_t>(
           1, config.read_buffer_bytes / kBlockSize)) {}
 
@@ -120,49 +137,49 @@ void SsdController::complete(Completion& done, CommandResult result) {
                 [done = std::move(done), result]() { done(result); });
 }
 
-std::uint32_t SsdController::acquire_stage_slot(Simulator::Callback ready) {
+std::uint32_t SsdController::acquire_stage_slot(StageCallback ready) {
   std::uint32_t slot;
   if (!stage_free_.empty()) {
     slot = stage_free_.back();
     stage_free_.pop_back();
-    stage_slots_[slot] = std::move(ready);
   } else {
     slot = static_cast<std::uint32_t>(stage_slots_.size());
-    stage_slots_.push_back(std::move(ready));
+    stage_slots_.emplace_back();
   }
+  stage_slots_[slot].ready = std::move(ready);
+  stage_slots_[slot].ok = true;
   return slot;
 }
 
-Simulator::Callback SsdController::take_stage_slot(std::uint32_t slot) {
-  Simulator::Callback ready = std::move(stage_slots_[slot]);
-  stage_free_.push_back(slot);
-  return ready;
-}
-
-void SsdController::stage_page(Lba lba, Simulator::Callback ready,
+void SsdController::stage_page(Lba lba, StageCallback ready,
                                bool use_buffer) {
   PIPETTE_ASSERT(lba < ftl_.lba_count());
-  if (!use_buffer) {
-    ftl_.note_read();
-    nand_.read_page(ftl_.lookup(lba), std::move(ready));
-    return;
+  if (use_buffer) {
+    if (read_buffer_.find(lba) != nullptr) {
+      stats_.read_buffer.record(true);
+      ready(true);
+      return;
+    }
+    stats_.read_buffer.record(false);
   }
-  if (read_buffer_.find(lba) != nullptr) {
-    stats_.read_buffer.record(true);
-    ready();
-    return;
-  }
-  stats_.read_buffer.record(false);
   ftl_.note_read();
   const PhysPageAddr addr = ftl_.lookup(lba);
   // Park `ready` (itself a full-size callback) in a pooled slot so the NAND
   // completion closure does not nest one callback inside another.
   const std::uint32_t slot = acquire_stage_slot(std::move(ready));
-  nand_.read_page(addr, [this, lba, slot]() {
-    read_buffer_.insert(lba, 0);
-    Simulator::Callback parked = take_stage_slot(slot);
-    parked();
-  });
+  const NandReadOutcome outcome =
+      nand_.read_page(addr, [this, lba, slot, use_buffer]() {
+        StageSlot& parked = stage_slots_[slot];
+        const bool ok = parked.ok;
+        if (ok && use_buffer) read_buffer_.insert(lba, 0);
+        StageCallback ready = std::move(parked.ready);
+        stage_free_.push_back(slot);
+        ready(ok);
+      });
+  if (outcome.failed) {
+    stage_slots_[slot].ok = false;
+    ++stats_.media_errors;
+  }
 }
 
 SsdController::BlockJob* SsdController::acquire_block_job(Command cmd,
@@ -178,14 +195,15 @@ SsdController::BlockJob* SsdController::acquire_block_job(Command cmd,
   job->cmd = std::move(cmd);
   job->done = std::move(done);
   job->remaining = 0;
+  job->failed = false;
   return job;
 }
 
-void SsdController::finish_block_job(BlockJob* job) {
+void SsdController::finish_block_job(BlockJob* job, CmdStatus status) {
   Completion done = std::move(job->done);
   job->cmd = Command{};
   block_job_free_.push_back(job);
-  complete(done, CommandResult{sim_.now(), 0});
+  complete(done, CommandResult{sim_.now(), 0, status});
 }
 
 void SsdController::do_block_read(Command cmd, Completion done) {
@@ -201,8 +219,15 @@ void SsdController::do_block_read(Command cmd, Completion done) {
   for (std::uint32_t i = 0; i < job->cmd.nlb; ++i) {
     stage_page(
         job->cmd.lba + i,
-        [this, job]() {
+        [this, job](bool ok) {
+          if (!ok) job->failed = true;
           if (--job->remaining > 0) return;
+          if (job->failed) {
+            // A page never materialised: fail the whole command without
+            // moving any payload to the host.
+            finish_block_job(job, CmdStatus::kMediaError);
+            return;
+          }
           const std::uint64_t bytes =
               static_cast<std::uint64_t>(job->cmd.nlb) * kBlockSize;
           pcie_.dma(bytes, [this, job, bytes]() {
@@ -213,7 +238,7 @@ void SsdController::do_block_read(Command cmd, Completion done) {
                                 kBlockSize));
             }
             stats_.bytes_to_host += bytes;
-            finish_block_job(job);
+            finish_block_job(job, CmdStatus::kOk);
           });
         },
         config_.block_reads_use_buffer);
@@ -241,7 +266,7 @@ void SsdController::do_block_write(Command cmd, Completion done) {
     const PhysPageAddr addr = ftl_.update(job->cmd.lba + i);
     perform_gc_moves();
     nand_.program_page(addr, [this, job]() {
-      if (--job->remaining == 0) finish_block_job(job);
+      if (--job->remaining == 0) finish_block_job(job, CmdStatus::kOk);
     });
   }
 }
@@ -271,6 +296,8 @@ SsdController::FgJob* SsdController::acquire_fg_job(Command cmd,
   job->done = std::move(done);
   job->pages_pending = 0;
   job->ranges_pending = 0;
+  job->media_failed = false;
+  job->drop_completion = false;
   job->pages_used = 0;
   return job;
 }
@@ -315,13 +342,23 @@ void SsdController::group_ranges_by_page(FgJob& job, bool with_offsets) {
 void SsdController::fg_range_done(FgJob* job) {
   if (--job->ranges_pending > 0) return;
   // Device "digests items in Info Area and increases the head's value":
-  // retire records in ring order.
+  // retire records in ring order — even for failed commands, so the ring
+  // never leaks records.
   for (std::size_t i = 0; i < job->cmd.ranges.size(); ++i)
     hmb_.info().consume();
   recycle_fg_ranges(std::move(job->cmd.ranges));
+  const CmdStatus status =
+      job->media_failed ? CmdStatus::kMediaError : CmdStatus::kOk;
+  const bool drop = job->drop_completion;
   Completion done = std::move(job->done);
   release_fg_job(job);
-  complete(done, CommandResult{sim_.now(), 0});
+  if (drop) {
+    // Injected lost completion: the work happened but the CQ entry never
+    // arrives. The host's timeout guard is responsible for recovery.
+    ++stats_.dropped_completions;
+    return;
+  }
+  complete(done, CommandResult{sim_.now(), 0, status});
 }
 
 void SsdController::do_fg_read(Command cmd, Completion done) {
@@ -332,6 +369,35 @@ void SsdController::do_fg_read(Command cmd, Completion done) {
   FgJob* job = acquire_fg_job(std::move(cmd), std::move(done));
   job->ranges_pending = static_cast<std::uint32_t>(job->cmd.ranges.size());
 
+  // Injected HMB/DMA faults are decided up front — one fixed-order pair of
+  // draws per command — so the fault stream replays identically regardless
+  // of completion interleaving.
+  const HmbFaultPlan& hf = config_.faults.hmb;
+  const bool hmb_fault = hmb_faults_.fire(hf.dma_fault_rate);
+  job->drop_completion = hmb_faults_.fire(hf.drop_rate);
+
+  if (hmb_fault) {
+    // The engine cannot reach its HMB destinations (mapping/translation
+    // fault). Abort before touching NAND, but still consume this command's
+    // Info Area records so the ring stays in sync; kHmbFault tells the host
+    // to fall back to the block path.
+    ++stats_.hmb_dma_faults;
+    sim_.schedule(hf.fault_latency, [this, job]() {
+      for (std::size_t i = 0; i < job->cmd.ranges.size(); ++i)
+        hmb_.info().consume();
+      recycle_fg_ranges(std::move(job->cmd.ranges));
+      const bool drop = job->drop_completion;
+      Completion done = std::move(job->done);
+      release_fg_job(job);
+      if (drop) {
+        ++stats_.dropped_completions;
+        return;
+      }
+      complete(done, CommandResult{sim_.now(), 0, CmdStatus::kHmbFault});
+    });
+    return;
+  }
+
   // Phase 1: group ranges by page and load each distinct page once.
   group_ranges_by_page(*job, /*with_offsets=*/false);
   job->pages_pending = static_cast<std::uint32_t>(job->pages_used);
@@ -340,7 +406,16 @@ void SsdController::do_fg_read(Command cmd, Completion done) {
   // synchronously, and the last one may retire (and recycle) the job.
   const std::size_t pages = job->pages_used;
   for (std::size_t gi = 0; gi < pages; ++gi) {
-    stage_page(job->by_page[gi].lba, [this, job, gi]() {
+    stage_page(job->by_page[gi].lba, [this, job, gi](bool ok) {
+      if (!ok) {
+        // The page never reached the buffer; its ranges cannot be
+        // extracted. Retire them anyway so the fan-in completes (with
+        // kMediaError) and the Info Area head still advances.
+        job->media_failed = true;
+        const std::size_t n = job->by_page[gi].ranges.size();
+        for (std::size_t i = 0; i < n; ++i) fg_range_done(job);
+        return;
+      }
       // Phase 2+3: consume Info records for destination addresses, extract
       // each range from the buffered page, DMA it home.
       for (const auto& [r, unused] : job->by_page[gi].ranges) {
@@ -389,25 +464,35 @@ void SsdController::do_fg_write(Command cmd, Completion done) {
     // retire the job before this loop finishes.
     const std::size_t pages = job->pages_used;
     for (std::size_t gi = 0; gi < pages; ++gi) {
-      stage_page(job->by_page[gi].lba, [this, job, gi]() {
-        // Patch the buffered page and persist to a fresh physical page.
-        for (const auto& [r, data_off] : job->by_page[gi].ranges) {
-          sim_.advance(0);  // patching happens in controller SRAM
-          content_.write(r->lba, r->offset,
-                         std::span<const std::uint8_t>(
-                             job->cmd.write_data.data() + data_off, r->len));
+      stage_page(job->by_page[gi].lba, [this, job, gi](bool ok) {
+        if (!ok) {
+          // RMW source page unreadable: skip the patch/program; the write
+          // fails as a whole once the fan-in drains.
+          job->media_failed = true;
+        } else {
+          // Patch the buffered page and persist to a fresh physical page.
+          for (const auto& [r, data_off] : job->by_page[gi].ranges) {
+            sim_.advance(0);  // patching happens in controller SRAM
+            content_.write(r->lba, r->offset,
+                           std::span<const std::uint8_t>(
+                               job->cmd.write_data.data() + data_off,
+                               r->len));
+          }
+          const PhysPageAddr addr = ftl_.update(job->by_page[gi].lba);
+          perform_gc_moves();
+          // Modern SSDs acknowledge writes once the data sits in the
+          // capacitor-backed controller write cache; the program itself
+          // proceeds in the background (it still occupies the die/channel).
+          nand_.program_page(addr, [] {});
         }
-        const PhysPageAddr addr = ftl_.update(job->by_page[gi].lba);
-        perform_gc_moves();
-        // Modern SSDs acknowledge writes once the data sits in the
-        // capacitor-backed controller write cache; the program itself
-        // proceeds in the background (it still occupies the die/channel).
-        nand_.program_page(addr, [] {});
         if (--job->pages_pending == 0) {
           recycle_fg_ranges(std::move(job->cmd.ranges));
+          const CmdStatus status = job->media_failed
+                                       ? CmdStatus::kMediaError
+                                       : CmdStatus::kOk;
           Completion done = std::move(job->done);
           release_fg_job(job);
-          complete(done, CommandResult{sim_.now(), 0});
+          complete(done, CommandResult{sim_.now(), 0, status});
         }
       });
     }
@@ -418,7 +503,11 @@ void SsdController::do_read_to_cmb(Command cmd, Completion done) {
   ++stats_.cmb_reads;
   PIPETTE_ASSERT(cmd.nlb == 1);
   const Lba lba = cmd.lba;
-  stage_page(lba, [this, lba, done = std::move(done)]() mutable {
+  stage_page(lba, [this, lba, done = std::move(done)](bool ok) mutable {
+    if (!ok) {
+      complete(done, CommandResult{sim_.now(), 0, CmdStatus::kMediaError});
+      return;
+    }
     const std::uint32_t slot = cmb_.claim_slot();
     std::vector<std::uint8_t> page(kBlockSize);
     content_.read(lba, 0, {page.data(), page.size()});

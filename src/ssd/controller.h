@@ -27,9 +27,11 @@
 #include <span>
 #include <vector>
 
+#include "common/inline_function.h"
 #include "common/lru.h"
 #include "common/stats.h"
 #include "des/simulator.h"
+#include "faults/faults.h"
 #include "nand/nand.h"
 #include "ssd/cmb.h"
 #include "ssd/disk_content.h"
@@ -63,9 +65,18 @@ struct Command {
                                            // write_data (info_index unused)
 };
 
+/// Terminal status of a command. kMediaError: a NAND page exhausted its
+/// read-retry budget (the payload never materialised). kHmbFault: the
+/// fine-grained engine could not reach its HMB destinations; the host should
+/// fall back to the block path.
+enum class CmdStatus : std::uint8_t { kOk, kMediaError, kHmbFault };
+
+const char* to_string(CmdStatus s);
+
 struct CommandResult {
   SimTime completed_at = 0;
   std::uint32_t cmb_slot = 0;  // kReadToCmb: slot holding the page
+  CmdStatus status = CmdStatus::kOk;  // fits the existing padding: still 16B
 };
 
 struct ControllerTiming {
@@ -78,7 +89,7 @@ struct ControllerTiming {
 struct ControllerConfig {
   NandGeometry geometry;
   NandTiming nand_timing;
-  NandFaultModel faults;
+  FaultPlan faults;
   PcieTiming pcie;
   ControllerTiming timing;
   std::uint64_t lba_count = 0;             // 0 = max addressable
@@ -104,6 +115,9 @@ struct ControllerStats {
   std::uint64_t cmb_reads = 0;
   std::uint64_t bytes_to_host = 0;    // read I/O traffic, the paper's metric
   std::uint64_t bytes_from_host = 0;  // write payload traffic
+  std::uint64_t media_errors = 0;     // terminal NAND ECC failures
+  std::uint64_t hmb_dma_faults = 0;   // injected HMB/DMA engine faults
+  std::uint64_t dropped_completions = 0;  // injected lost CQ entries
   RatioCounter read_buffer;         // device DRAM buffer hit ratio
 };
 
@@ -152,10 +166,15 @@ class SsdController {
   struct FgJob;
   struct BlockJob;
 
+  /// Staging continuation: receives whether the page actually landed in the
+  /// buffer (false after a terminal NAND media error). Same SBO budget as
+  /// the simulator's event callbacks.
+  using StageCallback = InlineFunction<void(bool), 48>;
+
   /// Ensure the page of `lba` is in the device read buffer; `ready` runs
   /// (possibly immediately) once it is. When `use_buffer` is false the page
   /// is always sensed from NAND and not retained.
-  void stage_page(Lba lba, Simulator::Callback ready, bool use_buffer = true);
+  void stage_page(Lba lba, StageCallback ready, bool use_buffer = true);
 
   /// Execute any relocations the FTL's GC queued (background NAND work).
   void perform_gc_moves();
@@ -179,10 +198,9 @@ class SsdController {
   void fg_range_done(FgJob* job);
 
   BlockJob* acquire_block_job(Command cmd, Completion done);
-  void finish_block_job(BlockJob* job);
+  void finish_block_job(BlockJob* job, CmdStatus status);
 
-  std::uint32_t acquire_stage_slot(Simulator::Callback ready);
-  Simulator::Callback take_stage_slot(std::uint32_t slot);
+  std::uint32_t acquire_stage_slot(StageCallback ready);
 
   Simulator& sim_;
   ControllerConfig config_;
@@ -192,6 +210,7 @@ class SsdController {
   PcieLink pcie_;
   Hmb hmb_;
   Cmb cmb_;
+  FaultInjector hmb_faults_;  // kHmbDma sub-stream of config.faults.seed
   void recycle_fg_ranges(std::vector<FgRange>&& ranges);
 
   LruMap<Lba, char> read_buffer_;  // presence set over device DRAM pages
@@ -213,8 +232,14 @@ class SsdController {
   std::vector<std::unique_ptr<BlockJob>> block_job_pool_;
   std::vector<BlockJob*> block_job_free_;
 
-  // Parked `ready` continuations of stage_page() NAND reads.
-  std::vector<Simulator::Callback> stage_slots_;
+  // Parked `ready` continuations of stage_page() NAND reads. The slot also
+  // carries the read's verdict: read_page() decides success at submission,
+  // the parked continuation observes it at completion.
+  struct StageSlot {
+    StageCallback ready;
+    bool ok = true;
+  };
+  std::vector<StageSlot> stage_slots_;
   std::vector<std::uint32_t> stage_free_;
 };
 

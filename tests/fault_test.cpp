@@ -1,0 +1,294 @@
+// Tests for the deterministic fault-injection framework: zero-rate plans
+// are bit-identical to fault-free runs, nonzero rates reproduce exactly,
+// NAND terminal failures and HMB faults surface as failed/degraded reads,
+// the timeout guard unsticks lost completions, cold restart drops host
+// caches, and the fleet's shard-outage policies stay deterministic at any
+// job count.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "common/inline_function.h"
+#include "fleet/fleet.h"
+#include "sim/experiment.h"
+#include "workload/synthetic.h"
+
+namespace pipette {
+namespace {
+
+// Small synthetic cells (8 MiB file) keep every run in unit-test territory.
+SyntheticConfig small_synth(char wl, std::uint64_t seed = 42) {
+  SyntheticConfig sc = table1_workload(wl, Distribution::kUniform, seed);
+  sc.file_size = 8 * kMiB;
+  return sc;
+}
+
+SeededWorkloadFactory synth_factory(char wl) {
+  return [wl](std::uint64_t seed) -> std::unique_ptr<Workload> {
+    return std::make_unique<SyntheticWorkload>(small_synth(wl, seed));
+  };
+}
+
+RunResult run_cell(const MachineConfig& config, const RunConfig& rc) {
+  SyntheticWorkload w(small_synth('C'));
+  return run_experiment(config, w, rc);
+}
+
+// --- Zero-rate identity -------------------------------------------------
+
+// A zero-rate plan draws no randomness and schedules no extra events, so
+// the injector seed cannot matter: runs with wildly different fault seeds
+// are bit-identical on every path kind. (The checked-in golden fixture pins
+// the same property against pre-fault-framework history.)
+TEST(FaultPlan, ZeroRateSeedIsInert) {
+  const RunConfig rc{400, 200};
+  for (PathKind kind : kAllPaths) {
+    MachineConfig base = default_machine(kind);
+    MachineConfig reseeded = base;
+    reseeded.ssd.faults.seed = 0xdecafbadull;
+    EXPECT_EQ(run_cell(base, rc).Deterministic(),
+              run_cell(reseeded, rc).Deterministic())
+        << to_string(kind);
+  }
+}
+
+// --- Device-fault behaviour, single machine -----------------------------
+
+MachineConfig faulty_machine(PathKind kind, double rate) {
+  MachineConfig m = default_machine(kind);
+  m.ssd.faults.nand.read_error_rate = rate;
+  m.ssd.faults.hmb.dma_fault_rate = rate;
+  m.ssd.faults.hmb.drop_rate = rate / 10;
+  return m;
+}
+
+TEST(DeviceFaults, NonzeroRatesReproduceBitForBit) {
+  const RunConfig rc{500, 250};
+  const MachineConfig m = faulty_machine(PathKind::kPipette, 1e-2);
+  EXPECT_EQ(run_cell(m, rc).Deterministic(), run_cell(m, rc).Deterministic());
+}
+
+TEST(DeviceFaults, NandRetriesAndTerminalFailuresSurface) {
+  MachineConfig m = default_machine(PathKind::kBlockIo);
+  m.ssd.faults.nand.read_error_rate = 0.5;  // terminal failure: 1/16 reads
+  const RunResult r = run_cell(m, {600, 300});
+  EXPECT_GT(r.retries, 0u);
+  EXPECT_GT(r.failed_reads, 0u);
+  EXPECT_LT(r.availability(), 1.0);
+  EXPECT_GT(r.availability(), 0.5);
+  // Failed reads are not counted as served.
+  EXPECT_EQ(r.measured_reads + r.failed_reads, 600u);
+}
+
+TEST(DeviceFaults, HmbFaultDegradesPipetteToBlockPath) {
+  MachineConfig m = default_machine(PathKind::kPipette);
+  m.ssd.faults.hmb.dma_fault_rate = 1.0;  // every FG_READ aborts in the HMB
+  Machine machine(m, SyntheticWorkload(small_synth('C')).files());
+  SyntheticWorkload w(small_synth('C'));
+  const RunResult r = run_experiment_on(machine, w, {400, 200});
+  // Every device-reaching fine read degrades; none fail outright, so the
+  // path still serves 100% of requests.
+  EXPECT_GT(r.degraded_reads, 0u);
+  EXPECT_EQ(r.failed_reads, 0u);
+  EXPECT_EQ(r.measured_reads, 400u);
+  EXPECT_EQ(r.availability(), 1.0);
+  EXPECT_GT(machine.pipette_path()->pipette_stats().hmb_fault_fallbacks, 0u);
+  EXPECT_TRUE(machine.pipette_path()->fgrc().index_consistent());
+}
+
+TEST(DeviceFaults, DegradedReadReturnsTheWrittenBytes) {
+  MachineConfig m = default_machine(PathKind::kPipette);
+  m.ssd.faults.hmb.dma_fault_rate = 1.0;
+  const std::vector<FileSpec> files{{"f", 1 * kMiB, 0, 0}};
+  Machine machine(m, files);
+  const int fd = machine.vfs().open("f", machine.open_flags(true));
+
+  std::vector<std::uint8_t> wrote(64);
+  for (std::size_t i = 0; i < wrote.size(); ++i)
+    wrote[i] = static_cast<std::uint8_t>(0xA0 + i);
+  machine.vfs().pwrite(fd, 4096 + 128, {wrote.data(), wrote.size()});
+  // Flush + drop host caches so the read must go to the device and take the
+  // (always-faulting) fine-grained path before degrading to block I/O.
+  machine.cold_restart();
+
+  std::vector<std::uint8_t> got(wrote.size(), 0);
+  machine.vfs().pread(fd, 4096 + 128, {got.data(), got.size()});
+  EXPECT_EQ(std::memcmp(got.data(), wrote.data(), wrote.size()), 0);
+  EXPECT_GT(machine.pipette_path()->pipette_stats().hmb_fault_fallbacks, 0u);
+}
+
+TEST(DeviceFaults, TimeoutGuardUnsticksLostCompletions) {
+  MachineConfig m = default_machine(PathKind::kPipette);
+  m.ssd.faults.hmb.drop_rate = 1.0;  // every FG_READ completion is lost
+  Machine machine(m, SyntheticWorkload(small_synth('E')).files());
+  SyntheticWorkload w(small_synth('E'));  // all-small: everything goes fine
+  // The test completing at all proves the guard: without it the first
+  // dropped completion would spin run_until_condition forever.
+  const RunResult r = run_experiment_on(machine, w, {50, 20});
+  EXPECT_GT(machine.pipette_path()->pipette_stats().lost_completions, 0u);
+  EXPECT_GT(r.failed_reads, 0u);
+  EXPECT_TRUE(machine.pipette_path()->fgrc().index_consistent());
+  // Each lost completion charges the full guard window of simulated time.
+  EXPECT_GE(r.elapsed, m.ssd.faults.hmb.timeout);
+}
+
+TEST(DeviceFaults, PoisonedFillsKeepFgrcConsistent) {
+  MachineConfig m = default_machine(PathKind::kPipette);
+  m.ssd.faults.nand.read_error_rate = 0.5;
+  Machine machine(m, SyntheticWorkload(small_synth('C')).files());
+  SyntheticWorkload w(small_synth('C'));
+  (void)run_experiment_on(machine, w, {600, 300});
+  EXPECT_GT(machine.pipette_path()->fgrc().stats().aborted_fills, 0u);
+  EXPECT_TRUE(machine.pipette_path()->fgrc().index_consistent());
+}
+
+TEST(DeviceFaults, FaultPathsStayAllocationFree) {
+  MachineConfig m = faulty_machine(PathKind::kPipette, 5e-2);
+  Machine machine(m, SyntheticWorkload(small_synth('C')).files());
+  SyntheticWorkload w(small_synth('C'));
+  const std::uint64_t heap0 = inline_function_heap_allocations();
+  (void)run_experiment_on(machine, w, {400, 200});
+  EXPECT_EQ(inline_function_heap_allocations() - heap0, 0u)
+      << "a fault-path closure outgrew the InlineFunction inline buffer";
+}
+
+// --- Cold restart -------------------------------------------------------
+
+TEST(ColdRestart, DropsHostCachesAndKeepsServing) {
+  Machine machine(default_machine(PathKind::kPipette),
+                  SyntheticWorkload(small_synth('C')).files());
+  SyntheticWorkload w(small_synth('C'));
+  (void)run_experiment_on(machine, w, {300, 300});
+  EXPECT_GT(machine.pipette_path()->fgrc().memory_bytes(), 0u);
+  EXPECT_GT(machine.page_cache()->resident_bytes(), 0u);
+
+  machine.cold_restart();
+  EXPECT_EQ(machine.pipette_path()->fgrc().memory_bytes(), 0u);
+  EXPECT_EQ(machine.page_cache()->resident_bytes(), 0u);
+  EXPECT_TRUE(machine.pipette_path()->fgrc().index_consistent());
+
+  const RunResult after = run_experiment_on(machine, w, {300, 0});
+  EXPECT_EQ(after.measured_reads, 300u);
+  EXPECT_EQ(after.failed_reads, 0u);
+}
+
+// --- Fleet outages ------------------------------------------------------
+
+FleetConfig faulty_fleet(std::size_t shards, PathKind kind) {
+  FleetConfig fleet;
+  fleet.shards = shards;
+  fleet.machine = default_machine(kind);
+  return fleet;
+}
+
+// Synthetic workloads are all-read, so measured down-shard requests map
+// 1:1 onto rejected reads under fail-fast and onto replayed (or failed)
+// reads under retry-backoff — which the assertions below exploit.
+
+TEST(FleetFaults, FailFastRejectsExactlyTheDownWindow) {
+  FleetConfig fleet = faulty_fleet(3, PathKind::kBlockIo);
+  fleet.faults.outages = {{/*shard=*/1, /*fail_at=*/500, /*recover_at=*/800}};
+  fleet.faults.policy = DownShardPolicy::kFailFast;
+  FleetRunner runner(fleet, synth_factory('C'), 42);
+  const RunConfig rc{900, 400};  // measured master indices [400, 1300)
+  const FleetResult serial = runner.run(rc, /*jobs=*/1);
+
+  EXPECT_GT(serial.down_requests, 0u);
+  EXPECT_EQ(serial.failed_reads, serial.down_requests);
+  EXPECT_EQ(serial.measured_reads + serial.failed_reads, rc.requests);
+  EXPECT_LT(serial.availability(), 1.0);
+  EXPECT_EQ(serial.shard_results[1].down_requests, serial.down_requests);
+  EXPECT_EQ(serial.shard_results[0].down_requests, 0u);
+
+  const FleetResult parallel = runner.run(rc, /*jobs=*/3);
+  EXPECT_TRUE(deterministic_equal(serial, parallel));
+}
+
+TEST(FleetFaults, RetryBackoffReplaysEverythingAfterRecovery) {
+  FleetConfig fleet = faulty_fleet(3, PathKind::kPipette);
+  fleet.faults.outages = {{/*shard=*/1, /*fail_at=*/500, /*recover_at=*/800}};
+  fleet.faults.policy = DownShardPolicy::kRetryBackoff;
+  FleetRunner runner(fleet, synth_factory('C'), 42);
+  const RunConfig rc{900, 400};
+  const FleetResult serial = runner.run(rc, /*jobs=*/1);
+
+  // Recovery lands mid-run: every deferred request is replayed against the
+  // cold-restarted shard, each charged its client's full backoff ladder.
+  EXPECT_GT(serial.down_requests, 0u);
+  EXPECT_EQ(serial.failed_reads, 0u);
+  EXPECT_EQ(serial.measured_reads, rc.requests);
+  EXPECT_EQ(serial.availability(), 1.0);
+  EXPECT_EQ(serial.retries,
+            serial.down_requests * fleet.faults.retry_attempts);
+
+  const FleetResult parallel = runner.run(rc, /*jobs=*/3);
+  EXPECT_TRUE(deterministic_equal(serial, parallel));
+}
+
+TEST(FleetFaults, RetryBackoffFailsDeferralsWhenRecoveryNeverComes) {
+  FleetConfig fleet = faulty_fleet(3, PathKind::kBlockIo);
+  // Down from mid-measurement to far beyond the stream's end.
+  fleet.faults.outages = {{1, 700, 1u << 20}};
+  fleet.faults.policy = DownShardPolicy::kRetryBackoff;
+  FleetRunner runner(fleet, synth_factory('C'), 42);
+  const FleetResult r = runner.run({900, 400}, /*jobs=*/1);
+  EXPECT_GT(r.down_requests, 0u);
+  EXPECT_EQ(r.failed_reads, r.down_requests);
+  EXPECT_EQ(r.retries, r.down_requests * fleet.faults.retry_attempts);
+  EXPECT_LT(r.availability(), 1.0);
+}
+
+TEST(FleetFaults, RerouteServesTheFullStreamElsewhere) {
+  FleetConfig fleet = faulty_fleet(3, PathKind::kBlockIo);
+  fleet.faults.outages = {{1, 500, 800}};
+  fleet.faults.policy = DownShardPolicy::kReroute;
+  FleetRunner runner(fleet, synth_factory('C'), 42);
+  const RunConfig rc{900, 400};
+  const FleetResult rerouted = runner.run(rc, /*jobs=*/1);
+
+  EXPECT_GT(rerouted.down_requests, 0u);
+  EXPECT_EQ(rerouted.failed_reads, 0u);
+  EXPECT_EQ(rerouted.measured_reads, rc.requests);
+  EXPECT_EQ(rerouted.availability(), 1.0);
+
+  // Same master stream, so the fleet-wide request count is untouched; the
+  // failover targets absorb what the down shard would have served.
+  FleetConfig healthy = faulty_fleet(3, PathKind::kBlockIo);
+  const FleetResult baseline =
+      FleetRunner(healthy, synth_factory('C'), 42).run(rc, /*jobs=*/1);
+  EXPECT_EQ(rerouted.requests, baseline.requests);
+  EXPECT_LT(rerouted.shard_results[1].requests,
+            baseline.shard_results[1].requests);
+
+  const FleetResult parallel = runner.run(rc, /*jobs=*/3);
+  EXPECT_TRUE(deterministic_equal(rerouted, parallel));
+}
+
+TEST(FleetFaults, DeviceFaultsAreDeterministicAcrossJobCounts) {
+  FleetConfig fleet = faulty_fleet(4, PathKind::kPipette);
+  fleet.machine = faulty_machine(PathKind::kPipette, 1e-2);
+  fleet.faults.outages = {{2, 600, 900}};
+  fleet.faults.policy = DownShardPolicy::kRetryBackoff;
+  FleetRunner runner(fleet, synth_factory('C'), 42);
+  const FleetResult serial = runner.run({1200, 600}, /*jobs=*/1);
+  const FleetResult parallel = runner.run({1200, 600}, /*jobs=*/4);
+  EXPECT_TRUE(deterministic_equal(serial, parallel));
+  // Each shard's device splits the fault seed, so error traces differ.
+  EXPECT_GT(serial.retries, 0u);
+}
+
+TEST(FleetFaults, ZeroRequestRunMergesClean) {
+  FleetRunner runner(faulty_fleet(3, PathKind::kBlockIo), synth_factory('C'),
+                     42);
+  const FleetResult r = runner.run({0, 0}, /*jobs=*/1);
+  EXPECT_EQ(r.requests, 0u);
+  EXPECT_EQ(r.availability(), 1.0);
+  EXPECT_EQ(r.load_imbalance, 0.0);
+  EXPECT_EQ(r.min_shard_requests, 0u);
+  EXPECT_EQ(r.mean_latency_us, 0.0);
+}
+
+}  // namespace
+}  // namespace pipette

@@ -119,20 +119,46 @@ TEST(NandArray, ProgramUsesProgramTime) {
   EXPECT_EQ(nand.stats().page_programs, 1u);
 }
 
-TEST(NandArray, FaultInjectionAddsRetries) {
+TEST(NandArray, CertainFaultRetriesThenFailsTerminally) {
   Simulator sim;
   NandTiming t;
-  NandFaultModel faults;
-  faults.read_retry_probability = 1.0;  // every read retries
-  faults.max_retries = 1;
+  NandFaultPlan faults;
+  faults.read_error_rate = 1.0;  // every sensing pass fails
+  faults.max_attempts = 2;
+  faults.backoff_base = 7 * kUs;
   NandArray nand(sim, small_geometry(), t, faults);
   SimTime done_at = 0;
-  nand.read_page({0, 0, 0}, [&] { done_at = sim.now(); });
+  const NandReadOutcome outcome =
+      nand.read_page({0, 0, 0}, [&] { done_at = sim.now(); });
   sim.run_all();
-  const SimDuration xfer =
-      static_cast<SimDuration>(t.channel_ns_per_byte * 4096);
-  EXPECT_EQ(done_at, t.command_overhead + 2 * t.t_read() + xfer);
+  EXPECT_TRUE(outcome.failed);
+  EXPECT_EQ(outcome.attempts, 2u);
+  // Two sensing passes separated by the first backoff step; a terminal
+  // failure never crosses the channel, so no transfer time and no bytes.
+  EXPECT_EQ(done_at, t.command_overhead + 2 * t.t_read() + faults.backoff_base);
   EXPECT_EQ(nand.stats().read_retries, 1u);
+  EXPECT_EQ(nand.stats().read_failures, 1u);
+  EXPECT_EQ(nand.stats().bytes_transferred, 0u);
+}
+
+TEST(NandArray, BackoffGrowsExponentially) {
+  Simulator sim;
+  NandTiming t;
+  NandFaultPlan faults;
+  faults.read_error_rate = 1.0;
+  faults.max_attempts = 4;
+  faults.backoff_base = 10 * kUs;
+  NandArray nand(sim, small_geometry(), t, faults);
+  SimTime done_at = 0;
+  const NandReadOutcome outcome =
+      nand.read_page({0, 0, 0}, [&] { done_at = sim.now(); });
+  sim.run_all();
+  EXPECT_TRUE(outcome.failed);
+  EXPECT_EQ(outcome.attempts, 4u);
+  // Backoff ladder 1x, 2x, 4x base between the four sensing passes.
+  EXPECT_EQ(done_at,
+            t.command_overhead + 4 * t.t_read() + 7 * faults.backoff_base);
+  EXPECT_EQ(nand.stats().read_retries, 3u);
 }
 
 TEST(NandArray, NoFaultsByDefault) {
@@ -142,6 +168,7 @@ TEST(NandArray, NoFaultsByDefault) {
     nand.read_page({0, 0, static_cast<std::uint64_t>(i)}, [] {});
   sim.run_all();
   EXPECT_EQ(nand.stats().read_retries, 0u);
+  EXPECT_EQ(nand.stats().read_failures, 0u);
 }
 
 TEST(NandArray, SlcFasterThanTlc) {
