@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/json.h"
 #include "common/table.h"
 #include "common/thread_pool.h"
 #include "sim/experiment.h"
@@ -84,9 +85,9 @@ inline std::map<char, Column> run_synthetic_matrix(
   const std::vector<RunResult> results = run_experiments_parallel(
       std::move(cells), jobs,
       [&labels](std::size_t i, const RunResult& r) {
-        std::fprintf(stderr, "  [%c] %-18s done (%.2f us mean, %.1fs host)\n",
+        std::fprintf(stderr, "  [%c] %-18s done (%s, %.1fs host)\n",
                      labels[i].first, short_name(labels[i].second),
-                     r.mean_latency_us, r.host_seconds);
+                     r.read_latency.summary().c_str(), r.host_seconds);
       });
   const double wall = std::chrono::duration<double>(
                           std::chrono::steady_clock::now() - wall0)
@@ -140,18 +141,22 @@ inline void emit(const Table& t, const BenchArgs& args) {
   if (!args.csv_path.empty()) t.write_csv(args.csv_path);
 }
 
-/// Machine-readable run summary (--json): per-cell host_seconds and
-/// events_executed, so the DES core's throughput is tracked across PRs
-/// (see EXPERIMENTS.md "Host-cost tracking").
+/// Emit a MetricsRegistry as one flat JSON object under `key`.
+inline void json_metrics(JsonWriter& w, std::string_view key,
+                         const MetricsRegistry& metrics) {
+  w.key(key);
+  w.begin_object();
+  for (const auto& [name, v] : metrics.values()) w.kv(name, v);
+  w.end_object();
+}
+
+/// Machine-readable run summary (--json): per-cell host_seconds,
+/// events_executed and the component metrics registry, so the DES core's
+/// throughput is tracked across PRs (see EXPERIMENTS.md "Host-cost
+/// tracking").
 inline void write_json_summary(const BenchArgs& args, const char* bench,
                                const std::map<char, Column>& matrix) {
   if (args.json_path.empty()) return;
-  std::FILE* f = std::fopen(args.json_path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "pipette: cannot write JSON to %s\n",
-                 args.json_path.c_str());
-    return;
-  }
   double total_seconds = 0.0;
   std::uint64_t total_events = 0;
   for (const auto& [wl, column] : matrix) {
@@ -160,31 +165,33 @@ inline void write_json_summary(const BenchArgs& args, const char* bench,
       total_events += r.events_executed;
     }
   }
-  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"jobs\": %u,\n", bench,
-               args.jobs);
-  std::fprintf(f, "  \"total_host_seconds\": %.6f,\n", total_seconds);
-  std::fprintf(f, "  \"total_events_executed\": %llu,\n",
-               static_cast<unsigned long long>(total_events));
-  std::fprintf(f, "  \"events_per_sec\": %.0f,\n",
-               total_seconds > 0.0
-                   ? static_cast<double>(total_events) / total_seconds
-                   : 0.0);
-  std::fprintf(f, "  \"cells\": [\n");
-  bool first = true;
+  JsonWriter w;
+  w.begin_object();
+  w.kv("bench", bench);
+  w.kv("jobs", args.jobs);
+  w.kv("total_host_seconds", total_seconds, 6);
+  w.kv("total_events_executed", total_events);
+  w.kv("events_per_sec",
+       total_seconds > 0.0 ? static_cast<double>(total_events) / total_seconds
+                           : 0.0,
+       0);
+  w.key("cells");
+  w.begin_array();
   for (const auto& [wl, column] : matrix) {
     for (const auto& [kind, r] : column) {
-      std::fprintf(f,
-                   "%s    {\"workload\": \"%c\", \"system\": \"%s\", "
-                   "\"host_seconds\": %.6f, \"events_executed\": %llu, "
-                   "\"mean_latency_us\": %.6f}",
-                   first ? "" : ",\n", wl, short_name(kind), r.host_seconds,
-                   static_cast<unsigned long long>(r.events_executed),
-                   r.mean_latency_us);
-      first = false;
+      w.begin_object();
+      w.kv("workload", std::string(1, wl));
+      w.kv("system", short_name(kind));
+      w.kv("host_seconds", r.host_seconds, 6);
+      w.kv("events_executed", r.events_executed);
+      w.kv("mean_latency_us", r.mean_latency_us, 6);
+      json_metrics(w, "metrics", r.metrics);
+      w.end_object();
     }
   }
-  std::fprintf(f, "\n  ]\n}\n");
-  std::fclose(f);
+  w.end_array();
+  w.end_object();
+  w.write_file(args.json_path);
 }
 
 inline void print_header(const char* title, const Scale& scale) {

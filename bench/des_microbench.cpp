@@ -112,34 +112,26 @@ int main(int argc, char** argv) {
 
   const std::string json_path =
       args.json_path.empty() ? "BENCH_des.json" : args.json_path;
-  std::FILE* f = std::fopen(json_path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "pipette: cannot write %s\n", json_path.c_str());
-    return 1;
-  }
-  std::fprintf(f,
-               "{\n"
-               "  \"bench\": \"des_microbench\",\n"
-               "  \"raw_events\": %llu,\n"
-               "  \"raw_host_seconds\": %.6f,\n"
-               "  \"raw_events_per_sec\": %.0f,\n"
-               "  \"raw_heap_fallback_callbacks\": %llu,\n"
-               "  \"cell\": {\n"
-               "    \"system\": \"Pipette\", \"workload\": \"E\",\n"
-               "    \"requests\": %llu, \"warmup\": %llu,\n"
-               "    \"host_seconds\": %.6f,\n"
-               "    \"events_executed\": %llu,\n"
-               "    \"events_per_sec\": %.0f\n"
-               "  }\n"
-               "}\n",
-               static_cast<unsigned long long>(raw_events), raw_seconds,
-               events_per_sec,
-               static_cast<unsigned long long>(heap_fallbacks),
-               static_cast<unsigned long long>(run.requests),
-               static_cast<unsigned long long>(run.warmup), cell.host_seconds,
-               static_cast<unsigned long long>(cell.events_executed),
-               cell_events_per_sec);
-  std::fclose(f);
+  JsonWriter w;
+  w.begin_object();
+  w.kv("bench", "des_microbench");
+  w.kv("raw_events", raw_events);
+  w.kv("raw_host_seconds", raw_seconds, 6);
+  w.kv("raw_events_per_sec", events_per_sec, 0);
+  w.kv("raw_heap_fallback_callbacks", heap_fallbacks);
+  w.key("cell");
+  w.begin_object();
+  w.kv("system", "Pipette");
+  w.kv("workload", "E");
+  w.kv("requests", run.requests);
+  w.kv("warmup", run.warmup);
+  w.kv("host_seconds", cell.host_seconds, 6);
+  w.kv("events_executed", cell.events_executed);
+  w.kv("events_per_sec", cell_events_per_sec, 0);
+  json_metrics(w, "metrics", cell.metrics);
+  w.end_object();
+  w.end_object();
+  if (!w.write_file(json_path)) return 1;
   std::printf("summary        : %s\n", json_path.c_str());
   return heap_fallbacks == 0 ? 0 : 1;
 }

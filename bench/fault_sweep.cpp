@@ -48,45 +48,42 @@ MachineConfig faulty_machine(PathKind kind, double rate) {
 void write_fault_json(const BenchArgs& args,
                       const std::vector<FaultCell>& cells) {
   if (args.json_path.empty()) return;
-  std::FILE* f = std::fopen(args.json_path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "pipette: cannot write JSON to %s\n",
-                 args.json_path.c_str());
-    return;
-  }
   double total_seconds = 0.0;
   std::uint64_t total_events = 0;
   for (const FaultCell& c : cells) {
     total_seconds += c.result.host_seconds;
     total_events += c.result.events_executed;
   }
-  std::fprintf(f, "{\n  \"bench\": \"fault_sweep\",\n  \"jobs\": %u,\n",
-               args.jobs);
-  std::fprintf(f, "  \"total_host_seconds\": %.6f,\n", total_seconds);
-  std::fprintf(f, "  \"total_events_executed\": %" PRIu64 ",\n",
-               total_events);
-  std::fprintf(f, "  \"events_per_sec\": %.0f,\n",
-               total_seconds > 0.0
-                   ? static_cast<double>(total_events) / total_seconds
-                   : 0.0);
-  std::fprintf(f, "  \"cells\": [\n");
-  bool first = true;
+  JsonWriter w;
+  w.begin_object();
+  w.kv("bench", "fault_sweep");
+  w.kv("jobs", args.jobs);
+  w.kv("total_host_seconds", total_seconds, 6);
+  w.kv("total_events_executed", total_events);
+  w.kv("events_per_sec",
+       total_seconds > 0.0 ? static_cast<double>(total_events) / total_seconds
+                           : 0.0,
+       0);
+  w.key("cells");
+  w.begin_array();
   for (const FaultCell& c : cells) {
-    std::fprintf(f,
-                 "%s    {\"rate\": %g, \"system\": \"%s\", "
-                 "\"availability\": %.6f, \"retries\": %" PRIu64
-                 ", \"failed_reads\": %" PRIu64 ", \"degraded_reads\": %" PRIu64
-                 ", \"mean_latency_us\": %.6f, \"p99_latency_us\": %.6f, "
-                 "\"host_seconds\": %.6f, \"events_executed\": %" PRIu64 "}",
-                 first ? "" : ",\n", c.rate, short_name(c.kind),
-                 c.result.availability(), c.result.retries,
-                 c.result.failed_reads, c.result.degraded_reads,
-                 c.result.mean_latency_us, c.result.p99_latency_us,
-                 c.result.host_seconds, c.result.events_executed);
-    first = false;
+    w.begin_object();
+    w.kv("rate", c.rate, 10);
+    w.kv("system", short_name(c.kind));
+    w.kv("availability", c.result.availability(), 6);
+    w.kv("retries", c.result.retries);
+    w.kv("failed_reads", c.result.failed_reads);
+    w.kv("degraded_reads", c.result.degraded_reads);
+    w.kv("mean_latency_us", c.result.mean_latency_us, 6);
+    w.kv("p99_latency_us", c.result.p99_latency_us, 6);
+    w.kv("host_seconds", c.result.host_seconds, 6);
+    w.kv("events_executed", c.result.events_executed);
+    json_metrics(w, "metrics", c.result.metrics);
+    w.end_object();
   }
-  std::fprintf(f, "\n  ]\n}\n");
-  std::fclose(f);
+  w.end_array();
+  w.end_object();
+  w.write_file(args.json_path);
 }
 
 std::string rate_label(double rate) {

@@ -39,45 +39,41 @@ const char* dist_name(Distribution d) {
 void write_fleet_json(const BenchArgs& args, PartitionScheme partition,
                       const std::vector<FleetCell>& cells) {
   if (args.json_path.empty()) return;
-  std::FILE* f = std::fopen(args.json_path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "pipette: cannot write JSON to %s\n",
-                 args.json_path.c_str());
-    return;
-  }
   double total_seconds = 0.0;
   std::uint64_t total_events = 0;
   for (const FleetCell& c : cells) {
     total_seconds += c.result.host_seconds;
     total_events += c.result.events_executed;
   }
-  std::fprintf(f, "{\n  \"bench\": \"fleet_scaling\",\n  \"jobs\": %u,\n",
-               args.jobs);
-  std::fprintf(f, "  \"partition\": \"%s\",\n", to_string(partition));
-  std::fprintf(f, "  \"total_host_seconds\": %.6f,\n", total_seconds);
-  std::fprintf(f, "  \"total_events_executed\": %llu,\n",
-               static_cast<unsigned long long>(total_events));
-  std::fprintf(f, "  \"events_per_sec\": %.0f,\n",
-               total_seconds > 0.0
-                   ? static_cast<double>(total_events) / total_seconds
-                   : 0.0);
-  std::fprintf(f, "  \"cells\": [\n");
-  bool first = true;
+  JsonWriter w;
+  w.begin_object();
+  w.kv("bench", "fleet_scaling");
+  w.kv("jobs", args.jobs);
+  w.kv("partition", to_string(partition));
+  w.kv("total_host_seconds", total_seconds, 6);
+  w.kv("total_events_executed", total_events);
+  w.kv("events_per_sec",
+       total_seconds > 0.0 ? static_cast<double>(total_events) / total_seconds
+                           : 0.0,
+       0);
+  w.key("cells");
+  w.begin_array();
   for (const FleetCell& c : cells) {
-    std::fprintf(f,
-                 "%s    {\"dist\": \"%s\", \"shards\": %zu, \"system\": "
-                 "\"%s\", \"fleet_rps\": %.0f, \"p99_us\": %.6f, "
-                 "\"load_imbalance\": %.6f, \"host_seconds\": %.6f, "
-                 "\"events_executed\": %llu}",
-                 first ? "" : ",\n", dist_name(c.dist), c.shards,
-                 short_name(c.kind), c.result.requests_per_sec(),
-                 c.result.p99_latency_us, c.result.load_imbalance,
-                 c.result.host_seconds,
-                 static_cast<unsigned long long>(c.result.events_executed));
-    first = false;
+    w.begin_object();
+    w.kv("dist", dist_name(c.dist));
+    w.kv("shards", c.shards);
+    w.kv("system", short_name(c.kind));
+    w.kv("fleet_rps", c.result.requests_per_sec(), 0);
+    w.kv("p99_us", c.result.p99_latency_us, 6);
+    w.kv("load_imbalance", c.result.load_imbalance, 6);
+    w.kv("host_seconds", c.result.host_seconds, 6);
+    w.kv("events_executed", c.result.events_executed);
+    json_metrics(w, "metrics", c.result.metrics);
+    w.end_object();
   }
-  std::fprintf(f, "\n  ]\n}\n");
-  std::fclose(f);
+  w.end_array();
+  w.end_object();
+  w.write_file(args.json_path);
 }
 
 }  // namespace

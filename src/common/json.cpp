@@ -1,0 +1,284 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace pipette {
+
+void JsonWriter::separator() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (container_has_items_.empty()) return;
+  if (container_has_items_.back()) out_.push_back(',');
+  container_has_items_.back() = true;
+}
+
+void JsonWriter::begin_object() {
+  separator();
+  out_.push_back('{');
+  container_has_items_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  if (!container_has_items_.empty()) container_has_items_.pop_back();
+  out_.push_back('}');
+}
+
+void JsonWriter::begin_array() {
+  separator();
+  out_.push_back('[');
+  container_has_items_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  if (!container_has_items_.empty()) container_has_items_.pop_back();
+  out_.push_back(']');
+}
+
+void JsonWriter::key(std::string_view k) {
+  separator();
+  out_.push_back('"');
+  out_ += escape(k);
+  out_ += "\":";
+  after_key_ = true;
+}
+
+void JsonWriter::value(std::string_view v) {
+  separator();
+  out_.push_back('"');
+  out_ += escape(v);
+  out_.push_back('"');
+}
+
+void JsonWriter::value(bool v) {
+  separator();
+  out_ += v ? "true" : "false";
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  separator();
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  out_ += buf;
+}
+
+void JsonWriter::value(std::int64_t v) {
+  separator();
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  out_ += buf;
+}
+
+void JsonWriter::value(double v, int precision) {
+  separator();
+  if (!std::isfinite(v)) v = 0.0;  // JSON has no NaN/inf
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  out_ += buf;
+}
+
+bool JsonWriter::write_file(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "pipette: cannot write JSON to %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(out_.data(), 1, out_.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  return true;
+}
+
+std::string JsonWriter::escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned char>(c));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Recursive-descent JSON syntax checker. `pos` is advanced past the parsed
+// construct; any violation returns false immediately.
+struct JsonChecker {
+  std::string_view text;
+  std::size_t pos = 0;
+  int depth = 0;
+  static constexpr int kMaxDepth = 128;
+
+  bool eof() const { return pos >= text.size(); }
+  char peek() const { return text[pos]; }
+
+  void skip_ws() {
+    while (!eof() && (text[pos] == ' ' || text[pos] == '\t' ||
+                      text[pos] == '\n' || text[pos] == '\r'))
+      ++pos;
+  }
+
+  bool literal(std::string_view word) {
+    if (text.substr(pos, word.size()) != word) return false;
+    pos += word.size();
+    return true;
+  }
+
+  bool string() {
+    if (eof() || text[pos] != '"') return false;
+    ++pos;
+    while (!eof()) {
+      char c = text[pos];
+      if (c == '"') {
+        ++pos;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (c == '\\') {
+        ++pos;
+        if (eof()) return false;
+        char e = text[pos];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos;
+            if (eof() || !std::isxdigit(static_cast<unsigned char>(text[pos])))
+              return false;
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          return false;
+        }
+      }
+      ++pos;
+    }
+    return false;  // unterminated
+  }
+
+  bool number() {
+    std::size_t start = pos;
+    if (!eof() && text[pos] == '-') ++pos;
+    if (eof() || !std::isdigit(static_cast<unsigned char>(text[pos])))
+      return false;
+    if (text[pos] == '0') {
+      ++pos;
+    } else {
+      while (!eof() && std::isdigit(static_cast<unsigned char>(text[pos])))
+        ++pos;
+    }
+    if (!eof() && text[pos] == '.') {
+      ++pos;
+      if (eof() || !std::isdigit(static_cast<unsigned char>(text[pos])))
+        return false;
+      while (!eof() && std::isdigit(static_cast<unsigned char>(text[pos])))
+        ++pos;
+    }
+    if (!eof() && (text[pos] == 'e' || text[pos] == 'E')) {
+      ++pos;
+      if (!eof() && (text[pos] == '+' || text[pos] == '-')) ++pos;
+      if (eof() || !std::isdigit(static_cast<unsigned char>(text[pos])))
+        return false;
+      while (!eof() && std::isdigit(static_cast<unsigned char>(text[pos])))
+        ++pos;
+    }
+    return pos > start;
+  }
+
+  bool value() {
+    if (++depth > kMaxDepth) return false;
+    skip_ws();
+    if (eof()) return false;
+    bool ok = false;
+    switch (peek()) {
+      case '{': ok = object(); break;
+      case '[': ok = array(); break;
+      case '"': ok = string(); break;
+      case 't': ok = literal("true"); break;
+      case 'f': ok = literal("false"); break;
+      case 'n': ok = literal("null"); break;
+      default: ok = number(); break;
+    }
+    --depth;
+    return ok;
+  }
+
+  bool object() {
+    ++pos;  // '{'
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      ++pos;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (eof() || text[pos] != ':') return false;
+      ++pos;
+      if (!value()) return false;
+      skip_ws();
+      if (eof()) return false;
+      if (text[pos] == ',') {
+        ++pos;
+        continue;
+      }
+      if (text[pos] == '}') {
+        ++pos;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos;  // '['
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      ++pos;
+      return true;
+    }
+    while (true) {
+      if (!value()) return false;
+      skip_ws();
+      if (eof()) return false;
+      if (text[pos] == ',') {
+        ++pos;
+        continue;
+      }
+      if (text[pos] == ']') {
+        ++pos;
+        return true;
+      }
+      return false;
+    }
+  }
+};
+
+}  // namespace
+
+bool json_valid(std::string_view text) {
+  JsonChecker c{text};
+  if (!c.value()) return false;
+  c.skip_ws();
+  return c.eof();
+}
+
+}  // namespace pipette

@@ -1,0 +1,72 @@
+// Minimal JSON emission and validation.
+//
+// Every bench used to hand-roll its --json output with fprintf, which meant
+// escaping bugs waiting to happen and no way to share structure with the new
+// observability exporters. JsonWriter is the one place JSON gets built:
+// explicit begin/end nesting, automatic comma placement, correct string
+// escaping. json_valid() is a strict syntax checker used by tests and the
+// trace_smoke gate to prove exported documents actually parse.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pipette {
+
+class JsonWriter {
+ public:
+  /// Structural tokens. begin_* may follow key() (object member) or appear
+  /// as an array element; commas are inserted automatically.
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Member key inside an object; must be followed by exactly one value or
+  /// begin_* call.
+  void key(std::string_view k);
+
+  void value(std::string_view v);  // JSON string (escaped)
+  void value(const char* v) { value(std::string_view(v)); }
+  void value(bool v);
+  void value(std::uint64_t v);
+  void value(std::int64_t v);
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(unsigned v) { value(static_cast<std::uint64_t>(v)); }
+  /// Fixed-precision double (JSON numbers; NaN/inf rendered as 0).
+  void value(double v, int precision = 6);
+
+  /// key + value in one call.
+  template <typename T>
+  void kv(std::string_view k, const T& v) {
+    key(k);
+    value(v);
+  }
+  void kv(std::string_view k, double v, int precision) {
+    key(k);
+    value(v, precision);
+  }
+
+  /// The document so far. Valid JSON once every begin_* is closed.
+  const std::string& str() const { return out_; }
+
+  /// Write str() to `path`; false (with a stderr note) on I/O failure.
+  bool write_file(const std::string& path) const;
+
+  static std::string escape(std::string_view s);
+
+ private:
+  void separator();  // comma/nothing before the next value or key
+
+  std::string out_;
+  std::vector<bool> container_has_items_;  // one frame per open container
+  bool after_key_ = false;
+};
+
+/// Strict JSON syntax check (objects, arrays, strings with escapes, numbers,
+/// true/false/null). Accepts exactly one top-level value.
+bool json_valid(std::string_view text);
+
+}  // namespace pipette

@@ -141,11 +141,13 @@ std::ostream& operator<<(std::ostream& os, const LatencyHistogram& h) {
 }
 
 std::string LatencyHistogram::summary() const {
-  char buf[160];
-  std::snprintf(buf, sizeof buf,
-                "n=%llu mean=%.2fus p50=%.2fus p99=%.2fus max=%.2fus",
-                static_cast<unsigned long long>(count_), mean_ns() / 1e3,
-                to_us(percentile(50)), to_us(percentile(99)), to_us(max()));
+  char buf[192];
+  std::snprintf(
+      buf, sizeof buf,
+      "n=%llu mean=%.2fus p50=%.2fus p99=%.2fus p999=%.2fus max=%.2fus",
+      static_cast<unsigned long long>(count_), mean_ns() / 1e3,
+      to_us(percentile(50)), to_us(percentile(99)), to_us(percentile(99.9)),
+      to_us(max()));
   return buf;
 }
 

@@ -86,7 +86,7 @@ class LatencyHistogram {
   SimDuration min() const { return count_ ? min_ : 0; }
   SimDuration max() const { return count_ ? max_ : 0; }
 
-  /// Human-readable one-line summary (mean/p50/p99/max in µs).
+  /// Human-readable one-line summary (count/mean/p50/p99/p999/max in µs).
   std::string summary() const;
 
   /// Exact bucket-level equality — two histograms that recorded the same

@@ -20,9 +20,18 @@
 
 namespace pipette {
 
+class Tracer;  // obs/trace.h — the DES core only carries the pointer
+
 class Simulator {
  public:
   using Callback = EventQueue::Callback;
+
+  /// Observability hook: an installed tracer receives per-stage span
+  /// timestamps from instrumented components. The tracer is passive (it
+  /// never schedules events or advances time), so installing one cannot
+  /// change the simulation. Null when tracing is off.
+  Tracer* tracer() const { return tracer_; }
+  void set_tracer(Tracer* t) { tracer_ = t; }
 
   /// Current simulated time.
   SimTime now() const { return now_; }
@@ -85,6 +94,7 @@ class Simulator {
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   EventQueue queue_;
+  Tracer* tracer_ = nullptr;
 };
 
 }  // namespace pipette

@@ -132,15 +132,22 @@ class FaultInjector {
   bool fire(double rate) {
     if (rate <= 0.0) return false;
     ++draws_;
-    return rng_.next_bool(rate);
+    if (rng_.next_bool(rate)) {
+      ++fired_;
+      return true;
+    }
+    return false;
   }
 
   /// Random values consumed so far (diagnostics; zero iff all rates zero).
   std::uint64_t draws() const { return draws_; }
+  /// Draws that came up positive (faults actually injected).
+  std::uint64_t fired() const { return fired_; }
 
  private:
   Rng rng_;
   std::uint64_t draws_ = 0;
+  std::uint64_t fired_ = 0;
 };
 
 }  // namespace pipette

@@ -91,7 +91,13 @@ FleetResult FleetRunner::run(const RunConfig& run, unsigned jobs) const {
   // fault plan the pre-pass routes by effective_shard(), so kReroute
   // traffic is counted against the failover target, and it tallies the
   // measured requests whose owner was down.
-  std::vector<RunConfig> plans(shards, partitioned ? RunConfig{0, 0} : run);
+  // Pre-pass plans start from `run` with zeroed phase counts (not a braced
+  // zero) so run-level options like the timeline config carry into every
+  // shard's plan.
+  RunConfig zero_plan = run;
+  zero_plan.warmup = 0;
+  zero_plan.requests = 0;
+  std::vector<RunConfig> plans(shards, partitioned ? zero_plan : run);
   std::vector<std::uint64_t> down_measured(shards, 0);
   if (partitioned) {
     std::unique_ptr<Workload> master = make_workload_(seed_);
@@ -214,6 +220,8 @@ FleetResult FleetRunner::run(const RunConfig& run, unsigned jobs) const {
     out.down_requests += r.down_requests;
     out.makespan = std::max(out.makespan, r.elapsed);
     out.latency.merge(r.read_latency);
+    out.metrics.merge_add(r.metrics);
+    merge_stage_latency(out.stage_latency, r.stage_latency);
     if (r.requests > out.max_shard_requests) {
       out.max_shard_requests = r.requests;
       out.hottest_shard = s;

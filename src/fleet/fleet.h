@@ -106,6 +106,16 @@ struct FleetResult {
   double p50_latency_us = 0.0;
   double p99_latency_us = 0.0;
 
+  /// Fleet-wide component metrics: per-shard registries merged by key-wise
+  /// sum. Always collected (see RunResult::metrics), so it participates in
+  /// Deterministic().
+  MetricsRegistry metrics;
+
+  /// Cross-shard per-stage latency decomposition (merged bucket-wise like
+  /// `latency`). Empty unless shards ran with tracing; excluded from
+  /// Deterministic() for the same reason as RunResult::stage_latency.
+  std::vector<LatencyHistogram> stage_latency;
+
   // Load imbalance over measured requests.
   std::uint64_t max_shard_requests = 0;
   std::uint64_t min_shard_requests = 0;
@@ -151,7 +161,7 @@ struct FleetResult {
                     down_requests, makespan, latency, mean_latency_us,
                     p50_latency_us, p99_latency_us, max_shard_requests,
                     min_shard_requests, mean_shard_requests, load_imbalance,
-                    hottest_shard, hottest_shard_fgrc_hit_ratio);
+                    hottest_shard, hottest_shard_fgrc_hit_ratio, metrics);
   }
 };
 

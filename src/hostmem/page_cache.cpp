@@ -44,6 +44,7 @@ void PageCache::insert(const PageKey& key, const std::uint8_t* bytes,
   page.data = std::make_unique<std::uint8_t[]>(kBlockSize);
   std::memcpy(page.data.get(), bytes, kBlockSize);
   page.demanded = demand;
+  ++stats_.fills;
   if (!demand) ++stats_.readahead_pages;
   auto evicted = cache_.insert(key, std::move(page));
   if (evicted) on_evict(evicted->first, evicted->second);

@@ -51,6 +51,7 @@ struct ReadaheadConfig {
 
 struct PageCacheStats {
   RatioCounter lookups;              // demand lookups only
+  std::uint64_t fills = 0;           // pages inserted (demand + read-ahead)
   std::uint64_t readahead_pages = 0; // pages brought in beyond the demand
   std::uint64_t evictions = 0;
   std::uint64_t evicted_never_used = 0;  // polluted: evicted w/o a demand hit

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "common/assert.h"
+#include "obs/trace.h"
 
 namespace pipette {
 
@@ -29,7 +30,10 @@ bool BlockIoPath::fetch_pages(FileId file,
                               std::uint64_t last_demand_page) {
   if (pages.empty()) return true;
   // LBA extraction for the fetch set (one mapping pass, ext4 extent walk).
-  sim_.advance(timing_.fs_extent_lookup);
+  {
+    TraceScope extent_scope(sim_, Stage::kExtentLookup);
+    sim_.advance(timing_.fs_extent_lookup);
+  }
   std::vector<Lba> lbas;
   std::unordered_map<Lba, std::uint64_t> lba_to_page;
   lbas.reserve(pages.size());
@@ -55,7 +59,10 @@ void BlockIoPath::fetch_pages_async(FileId file,
                                     const std::vector<std::uint64_t>& pages) {
   // The kernel allocates read-ahead pages and builds the requests in the
   // reader's context (synchronous CPU cost), but does not wait for the I/O.
-  sim_.advance(timing_.fs_extent_lookup);
+  {
+    TraceScope extent_scope(sim_, Stage::kExtentLookup);
+    sim_.advance(timing_.fs_extent_lookup);
+  }
   std::vector<Lba> lbas;
   auto lba_to_page = std::make_shared<std::unordered_map<Lba, std::uint64_t>>();
   lbas.reserve(pages.size());
@@ -95,13 +102,16 @@ bool BlockIoPath::buffered_read(FileId file, std::uint64_t offset,
   // read-ahead already in flight are waited on (lock_page), not re-read.
   std::vector<std::uint64_t> missing;
   std::vector<std::uint64_t> wait_for;
-  for (std::uint64_t p = first_page; p <= last_page; ++p) {
-    sim_.advance(timing_.page_cache_lookup);
-    if (cache_.lookup({file, p}) != nullptr) continue;
-    if (inflight_.contains({file, p})) {
-      wait_for.push_back(p);
-    } else {
-      missing.push_back(p);
+  {
+    TraceScope probe(sim_, Stage::kPageCache);
+    for (std::uint64_t p = first_page; p <= last_page; ++p) {
+      sim_.advance(timing_.page_cache_lookup);
+      if (cache_.lookup({file, p}) != nullptr) continue;
+      if (inflight_.contains({file, p})) {
+        wait_for.push_back(p);
+      } else {
+        missing.push_back(p);
+      }
     }
   }
   for (std::uint64_t p : wait_for) {
@@ -135,6 +145,8 @@ bool BlockIoPath::buffered_read(FileId file, std::uint64_t offset,
   // Copy out of the page cache. Pages were just inserted, so they are
   // resident (MRU) unless capacity is smaller than the request span — or a
   // media error kept one from ever arriving.
+  // Destructor records the partial span even on the unreadable-page return.
+  TraceScope copy_scope(sim_, Stage::kHostCopy);
   std::uint64_t pos = offset;
   std::size_t copied = 0;
   while (copied < out.size()) {
@@ -159,7 +171,11 @@ SimDuration BlockIoPath::read(FileId file, int /*open_flags*/,
                               std::uint64_t offset,
                               std::span<std::uint8_t> out) {
   const SimTime t0 = sim_.now();
-  sim_.advance(timing_.syscall + timing_.vfs_lookup);
+  PIPETTE_TRACE_REQUEST(sim_);
+  {
+    TraceScope submit_scope(sim_, Stage::kHostSubmit);
+    sim_.advance(timing_.syscall + timing_.vfs_lookup);
+  }
   const bool ok = buffered_read(file, offset, out);
   const SimDuration latency = sim_.now() - t0;
   if (!ok) {
@@ -209,7 +225,11 @@ SimDuration BlockIoPath::write(FileId file, int /*open_flags*/,
                                std::uint64_t offset,
                                std::span<const std::uint8_t> data) {
   const SimTime t0 = sim_.now();
-  sim_.advance(timing_.syscall + timing_.vfs_lookup);
+  PIPETTE_TRACE_REQUEST(sim_);
+  {
+    TraceScope submit_scope(sim_, Stage::kHostSubmit);
+    sim_.advance(timing_.syscall + timing_.vfs_lookup);
+  }
   if (buffered_write(file, offset, data)) {
     ++stats_.writes;
   } else {

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/assert.h"
+#include "obs/trace.h"
 
 namespace pipette {
 
@@ -65,11 +66,14 @@ PipettePath::FineOutcome PipettePath::fine_read(FileId file,
   // the freshest bytes. Probes use contains() so the page cache hit ratio
   // keeps describing the block-routed traffic only.
   bool any_resident = false;
-  for (std::uint64_t p = first_page; p <= last_page; ++p) {
-    sim_.advance(timing_.page_cache_lookup);
-    if (block_.page_cache().contains({file, p})) {
-      any_resident = true;
-      break;
+  {
+    TraceScope probe(sim_, Stage::kPageCache);
+    for (std::uint64_t p = first_page; p <= last_page; ++p) {
+      sim_.advance(timing_.page_cache_lookup);
+      if (block_.page_cache().contains({file, p})) {
+        any_resident = true;
+        break;
+      }
     }
   }
   if (any_resident) {
@@ -80,8 +84,9 @@ PipettePath::FineOutcome PipettePath::fine_read(FileId file,
 
   // Page-cache miss: the Detector verifies permission (already routed) and
   // tracks which part of each page is demanded.
-  sim_.advance(timing_.detector_check);
   {
+    TraceScope detector_scope(sim_, Stage::kDetector);
+    sim_.advance(timing_.detector_check);
     std::uint64_t pos = offset;
     std::size_t left = out.size();
     while (left > 0) {
@@ -100,9 +105,15 @@ PipettePath::FineOutcome PipettePath::fine_read(FileId file,
 
   if (config_.use_cache) {
     // Dispatch to the per-file hash lookup table.
-    sim_.advance(timing_.fgrc_lookup);
-    if (auto hit = fgrc_->lookup(key)) {
+    std::optional<std::span<const std::uint8_t>> hit;
+    {
+      TraceScope lookup_scope(sim_, Stage::kFgrcLookup);
+      sim_.advance(timing_.fgrc_lookup);
+      hit = fgrc_->lookup(key);
+    }
+    if (hit) {
       PIPETTE_ASSERT(hit->size() == out.size());
+      TraceScope copy_scope(sim_, Stage::kHostCopy);
       std::memcpy(out.data(), hit->data(), out.size());
       sim_.advance(timing_.copy_cost(out.size()));
       return FineOutcome::kOk;
@@ -114,7 +125,10 @@ PipettePath::FineOutcome PipettePath::fine_read(FileId file,
   MissPlan plan;
   if (config_.use_cache) {
     plan = fgrc_->plan_miss(key);
-    if (plan.promoted) sim_.advance(timing_.fgrc_insert);
+    if (plan.promoted) {
+      TraceScope fill_scope(sim_, Stage::kFgrcFill);
+      sim_.advance(timing_.fgrc_insert);
+    }
   } else {
     plan.dest = fgrc_->tempbuf_addr(key.len);
     plan.promoted = false;
@@ -124,9 +138,12 @@ PipettePath::FineOutcome PipettePath::fine_read(FileId file,
   // generic block layer; the Requester pushes Info Area records (one per
   // page-range, each carrying its destination address) and submits the
   // reconstructed FG_READ.
-  sim_.advance(timing_.fs_extent_lookup);
-  lba_scratch_.clear();
-  fs_.extract_lbas(file, offset, out.size(), lba_scratch_);
+  {
+    TraceScope extent_scope(sim_, Stage::kExtentLookup);
+    sim_.advance(timing_.fs_extent_lookup);
+    lba_scratch_.clear();
+    fs_.extract_lbas(file, offset, out.size(), lba_scratch_);
+  }
 
   InfoArea& info = ssd_.hmb().info();
   Command cmd;
@@ -140,6 +157,9 @@ PipettePath::FineOutcome PipettePath::fine_read(FileId file,
     cmd.ranges.push_back({r.lba, r.offset, r.len, idx});
     dest += r.len;
   }
+  // Ring enqueue costs no modelled time; the zero-length span still counts
+  // pushes in the info_ring histogram row.
+  PIPETTE_TRACE_SPAN(sim_, Stage::kInfoRing, sim_.now(), sim_.now());
   wait_done_ = false;
   const std::uint64_t ticket = ++wait_ticket_;
   ssd_.submit(std::move(cmd), [this, ticket](const CommandResult& r) {
@@ -167,6 +187,7 @@ PipettePath::FineOutcome PipettePath::fine_read(FileId file,
 
   // The demanded bytes are in the HMB (cache item or TempBuf); hand them
   // to the user.
+  TraceScope copy_scope(sim_, Stage::kHostCopy);
   ssd_.hmb().read(plan.dest, out);
   sim_.advance(timing_.copy_cost(out.size()));
   return FineOutcome::kOk;
@@ -176,7 +197,11 @@ SimDuration PipettePath::read(FileId file, int open_flags,
                               std::uint64_t offset,
                               std::span<std::uint8_t> out) {
   const SimTime t0 = sim_.now();
-  sim_.advance(timing_.syscall + timing_.vfs_lookup);
+  PIPETTE_TRACE_REQUEST(sim_);
+  {
+    TraceScope submit_scope(sim_, Stage::kHostSubmit);
+    sim_.advance(timing_.syscall + timing_.vfs_lookup);
+  }
 
   // Pipette w/o cache routes everything down the byte path (its I/O
   // traffic is exactly the requested bytes at every size, Table 2/3) —
@@ -279,7 +304,11 @@ SimDuration PipettePath::write(FileId file, int open_flags,
                                std::uint64_t offset,
                                std::span<const std::uint8_t> data) {
   const SimTime t0 = sim_.now();
-  sim_.advance(timing_.syscall + timing_.vfs_lookup);
+  PIPETTE_TRACE_REQUEST(sim_);
+  {
+    TraceScope submit_scope(sim_, Stage::kHostSubmit);
+    sim_.advance(timing_.syscall + timing_.vfs_lookup);
+  }
 
   switch (try_fine_write(file, open_flags, offset, data)) {
     case FineWriteOutcome::kOk:

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "common/assert.h"
+#include "obs/trace.h"
 
 namespace pipette {
 
@@ -10,14 +11,21 @@ SimDuration TwoBSsdPath::read(FileId file, int /*open_flags*/,
                               std::uint64_t offset,
                               std::span<std::uint8_t> out) {
   const SimTime t0 = sim_.now();
+  PIPETTE_TRACE_REQUEST(sim_);
   // User-level library entry: no kernel crossing, just the mapping lookup
   // of the file's byte-addressable window.
-  sim_.advance(timing_.vfs_lookup);
+  {
+    TraceScope submit_scope(sim_, Stage::kHostSubmit);
+    sim_.advance(timing_.vfs_lookup);
+  }
 
   // Resolve which device blocks hold the range (premapped extent walk).
-  sim_.advance(timing_.fs_extent_lookup);
   std::vector<LbaRange> ranges;
-  fs_.extract_lbas(file, offset, out.size(), ranges);
+  {
+    TraceScope extent_scope(sim_, Stage::kExtentLookup);
+    sim_.advance(timing_.fs_extent_lookup);
+    fs_.extract_lbas(file, offset, out.size(), ranges);
+  }
 
   std::size_t copied = 0;
   for (const LbaRange& r : ranges) {
@@ -44,8 +52,10 @@ SimDuration TwoBSsdPath::read(FileId file, int /*open_flags*/,
       return sim_.now() - t0;
     }
 
-    // Pull the demanded bytes out of the CMB window.
+    // Pull the demanded bytes out of the CMB window (MMIO transactions or
+    // mapped DMA — host-synchronous either way, so it lands in host_copy).
     auto dest = out.subspan(copied, r.len);
+    TraceScope pull_scope(sim_, Stage::kHostCopy);
     const SimDuration pull =
         ssd_.read_from_cmb(st.slot, r.offset, dest, mode_ == TwoBMode::kDma);
     sim_.advance(pull);
@@ -65,8 +75,12 @@ SimDuration TwoBSsdPath::write(FileId file, int /*open_flags*/,
   // CoinPurse's domain); writes go straight down the block interface with
   // read-modify-write of partial pages.
   const SimTime t0 = sim_.now();
-  sim_.advance(timing_.syscall + timing_.vfs_lookup +
-               timing_.fs_extent_lookup);
+  PIPETTE_TRACE_REQUEST(sim_);
+  {
+    TraceScope submit_scope(sim_, Stage::kHostSubmit);
+    sim_.advance(timing_.syscall + timing_.vfs_lookup +
+                 timing_.fs_extent_lookup);
+  }
   std::vector<LbaRange> ranges;
   fs_.extract_lbas(file, offset, data.size(), ranges);
   std::size_t consumed = 0;

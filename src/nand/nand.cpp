@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.h"
+#include "obs/trace.h"
 
 namespace pipette {
 
@@ -104,6 +105,14 @@ NandReadOutcome NandArray::read_page(const PhysPageAddr& addr,
   const SimTime sense_end = sense_start + sense;
   die_busy_until_[die] = sense_end;
 
+  // First sensing pass vs. the retry passes (extra sensing + backoff): the
+  // breakdown table separates steady-state media time from fault recovery.
+  PIPETTE_TRACE_SPAN(sim_, Stage::kNandSense, sense_start,
+                     sense_start + timing_.t_read());
+  if (sense > timing_.t_read())
+    PIPETTE_TRACE_SPAN(sim_, Stage::kNandRetry,
+                       sense_start + timing_.t_read(), sense_end);
+
   ++stats_.page_reads;
   if (outcome.failed) {
     // No data to transfer: complete at sense end without touching the bus.
@@ -119,6 +128,8 @@ NandReadOutcome NandArray::read_page(const PhysPageAddr& addr,
       xfer_start + static_cast<SimDuration>(
                        timing_.channel_ns_per_byte * transfer_bytes);
   channel_busy_until_[addr.channel] = xfer_end;
+
+  PIPETTE_TRACE_SPAN(sim_, Stage::kNandBus, xfer_start, xfer_end);
 
   stats_.bytes_transferred += transfer_bytes;
   sim_.schedule_at(xfer_end, std::move(on_done));

@@ -113,6 +113,7 @@ class NandArray {
   const NandGeometry& geometry() const { return geometry_; }
   const NandTiming& timing() const { return timing_; }
   const NandStats& stats() const { return stats_; }
+  const FaultInjector& injector() const { return injector_; }
 
   /// Earliest time the given die could start a new array operation.
   SimTime die_free_at(const PhysPageAddr& addr) const;

@@ -1,0 +1,81 @@
+#include "obs/chrome_trace.h"
+
+#include <cstdio>
+#include <string>
+
+#include "common/json.h"
+
+namespace pipette {
+
+namespace {
+
+void metadata_event(JsonWriter& w, const char* name, std::size_t pid,
+                    std::size_t tid, bool thread_scope,
+                    const std::string& value) {
+  w.begin_object();
+  w.kv("name", name);
+  w.kv("ph", "M");
+  w.kv("pid", pid);
+  if (thread_scope) w.kv("tid", tid);
+  w.key("args");
+  w.begin_object();
+  w.kv("name", value);
+  w.end_object();
+  w.end_object();
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const std::vector<ShardTrace>& shards) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("displayTimeUnit", "ns");
+  w.key("traceEvents");
+  w.begin_array();
+  for (std::size_t pid = 0; pid < shards.size(); ++pid) {
+    metadata_event(w, "process_name", pid, 0, /*thread_scope=*/false,
+                   shards[pid].label);
+    for (std::size_t s = 0; s < kStageCount; ++s) {
+      const Stage stage = static_cast<Stage>(s);
+      metadata_event(w, "thread_name", pid, s, /*thread_scope=*/true,
+                     std::string(stage_track(stage)) + "/" +
+                         stage_name(stage));
+    }
+    for (const TraceSpan& span : shards[pid].spans) {
+      w.begin_object();
+      w.kv("name", stage_name(span.stage));
+      w.kv("cat", stage_track(span.stage));
+      w.kv("ph", "X");
+      // Trace-event timestamps are microseconds; keep ns resolution with
+      // three decimals.
+      w.kv("ts", static_cast<double>(span.begin) / 1e3, 3);
+      w.kv("dur", static_cast<double>(span.end - span.begin) / 1e3, 3);
+      w.kv("pid", pid);
+      w.kv("tid", static_cast<std::size_t>(span.stage));
+      w.key("args");
+      w.begin_object();
+      w.kv("request", span.request);
+      w.end_object();
+      w.end_object();
+    }
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+bool write_chrome_trace(const std::string& path,
+                        const std::vector<ShardTrace>& shards) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "pipette: cannot write trace to %s\n", path.c_str());
+    return false;
+  }
+  const std::string doc = chrome_trace_json(shards);
+  std::fwrite(doc.data(), 1, doc.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace pipette

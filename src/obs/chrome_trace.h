@@ -1,0 +1,27 @@
+// Chrome trace-event JSON export (the format Perfetto and chrome://tracing
+// load). Each shard/system becomes a process row (pid), each stage lane a
+// thread row (tid), each TraceSpan a complete ("ph":"X") event with µs
+// timestamps. See EXPERIMENTS.md for how to load the output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace pipette {
+
+/// One process row in the trace: a shard or a system under comparison.
+struct ShardTrace {
+  std::string label;
+  std::vector<TraceSpan> spans;
+};
+
+/// Renders the full JSON document ({"traceEvents": [...]}).
+std::string chrome_trace_json(const std::vector<ShardTrace>& shards);
+
+/// chrome_trace_json + write to `path`; false on I/O failure.
+bool write_chrome_trace(const std::string& path,
+                        const std::vector<ShardTrace>& shards);
+
+}  // namespace pipette

@@ -1,0 +1,55 @@
+// Named counter/gauge registry snapshotted into RunResult.
+//
+// Names are dotted paths ("fgrc.promotions", "nand.read_retries"). The
+// backing store is an ordered map so iteration — and therefore every JSON
+// export and equality check — is deterministic. Values are unsigned 64-bit;
+// ratios and rates are derived at presentation time from their numerator
+// and denominator counters rather than stored as floats.
+//
+// Collection is always-on (Machine::collect_metrics runs whether or not
+// tracing is enabled), so metrics participate in RunResult::Deterministic()
+// and the fleet determinism contract.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace pipette {
+
+class MetricsRegistry {
+ public:
+  void set(const std::string& name, std::uint64_t v) { values_[name] = v; }
+  void add(const std::string& name, std::uint64_t v) { values_[name] += v; }
+
+  /// 0 for unknown names — absent and zero are intentionally the same.
+  std::uint64_t value(const std::string& name) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? 0 : it->second;
+  }
+
+  bool contains(const std::string& name) const {
+    return values_.count(name) != 0;
+  }
+
+  const std::map<std::string, std::uint64_t>& values() const {
+    return values_;
+  }
+
+  bool empty() const { return values_.empty(); }
+  std::size_t size() const { return values_.size(); }
+
+  /// Key-wise sum — the fleet's cross-shard merge. Gauges that do not sum
+  /// meaningfully (high-water marks) still sum deterministically; per-shard
+  /// values stay available in the shard results.
+  void merge_add(const MetricsRegistry& other) {
+    for (const auto& [name, v] : other.values_) values_[name] += v;
+  }
+
+  bool operator==(const MetricsRegistry&) const = default;
+
+ private:
+  std::map<std::string, std::uint64_t> values_;
+};
+
+}  // namespace pipette

@@ -1,0 +1,66 @@
+// Sim-time series sampling: periodic snapshots of throughput and cache
+// state over the measured phase of a run.
+//
+// The sampler is polled from the experiment loop between requests (host
+// side), so it can never perturb the simulation: no events, no RNG, no
+// advance(). Samples are taken at most once per poll even when the request
+// that just completed straddled several intervals — the series is a
+// bounded, evenly-spaced-ish decimation, not an exact integral.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/units.h"
+
+namespace pipette {
+
+struct TimelineConfig {
+  /// Sampling interval in sim ns; 0 disables the sampler.
+  SimDuration interval = 0;
+  /// Hard cap on stored samples (long runs stop sampling, not resize).
+  std::uint32_t max_samples = 4096;
+};
+
+/// One snapshot. Counters are cumulative over the measured phase (deltas
+/// against the measurement start), so rates between consecutive samples
+/// are simple differences.
+struct TimeSample {
+  SimDuration t = 0;  // sim time since measurement start
+  std::uint64_t reads = 0;
+  std::uint64_t traffic_bytes = 0;
+  double page_cache_hit_ratio = 0.0;
+  double fgrc_hit_ratio = 0.0;
+  std::uint64_t fgrc_bytes = 0;
+
+  bool operator==(const TimeSample&) const = default;
+};
+
+class TimelineSampler {
+ public:
+  TimelineSampler(const TimelineConfig& config, SimTime start)
+      : config_(config), start_(start), next_(start + config.interval) {}
+
+  /// True when a sample is owed at sim time `now`.
+  bool due(SimTime now) const {
+    return config_.interval > 0 && samples_.size() < config_.max_samples &&
+           now >= next_;
+  }
+
+  void record(SimTime now, TimeSample sample) {
+    sample.t = now - start_;
+    samples_.push_back(sample);
+    next_ = now + config_.interval;
+  }
+
+  std::vector<TimeSample> take() { return std::move(samples_); }
+
+ private:
+  TimelineConfig config_;
+  SimTime start_;
+  SimTime next_;
+  std::vector<TimeSample> samples_;
+};
+
+}  // namespace pipette

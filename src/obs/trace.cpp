@@ -1,0 +1,71 @@
+#include "obs/trace.h"
+
+#include "common/assert.h"
+
+namespace pipette {
+
+const char* stage_name(Stage s) {
+  switch (s) {
+    case Stage::kHostSubmit: return "host_submit";
+    case Stage::kPageCache: return "page_cache";
+    case Stage::kDetector: return "detector";
+    case Stage::kFgrcLookup: return "fgrc_lookup";
+    case Stage::kFgrcFill: return "fgrc_fill";
+    case Stage::kExtentLookup: return "extent_lookup";
+    case Stage::kInfoRing: return "info_ring";
+    case Stage::kQueue: return "queue";
+    case Stage::kFtl: return "ftl";
+    case Stage::kNandSense: return "nand_sense";
+    case Stage::kNandRetry: return "nand_retry";
+    case Stage::kNandBus: return "nand_bus";
+    case Stage::kPcieDma: return "pcie_dma";
+    case Stage::kHmbDma: return "hmb_dma";
+    case Stage::kHostCopy: return "host_copy";
+    case Stage::kComplete: return "complete";
+    case Stage::kStageCount: break;
+  }
+  PIPETTE_ASSERT_MSG(false, "invalid stage");
+  return "?";
+}
+
+const char* stage_track(Stage s) {
+  switch (s) {
+    case Stage::kHostSubmit:
+    case Stage::kPageCache:
+    case Stage::kDetector:
+    case Stage::kFgrcLookup:
+    case Stage::kFgrcFill:
+    case Stage::kExtentLookup:
+    case Stage::kInfoRing:
+    case Stage::kHostCopy:
+      return "host";
+    case Stage::kQueue:
+    case Stage::kFtl:
+    case Stage::kComplete:
+      return "firmware";
+    case Stage::kNandSense:
+    case Stage::kNandRetry:
+    case Stage::kNandBus:
+      return "media";
+    case Stage::kPcieDma:
+    case Stage::kHmbDma:
+      return "transfer";
+    case Stage::kStageCount:
+      break;
+  }
+  PIPETTE_ASSERT_MSG(false, "invalid stage");
+  return "?";
+}
+
+void merge_stage_latency(std::vector<LatencyHistogram>& into,
+                         const std::vector<LatencyHistogram>& from) {
+  if (from.empty()) return;
+  if (into.empty()) {
+    into = from;
+    return;
+  }
+  PIPETTE_ASSERT(into.size() == from.size());
+  for (std::size_t i = 0; i < into.size(); ++i) into[i].merge(from[i]);
+}
+
+}  // namespace pipette

@@ -14,7 +14,9 @@ FineGrainedReadCache::FineGrainedReadCache(Hmb& hmb, FgrcConfig config,
       adaptive_(config.adaptive),
       ghosts_(config.adaptive.ghost_capacity),
       page_cache_hits_(page_cache_hits),
-      evictions_at_epoch_(store_.classes(), 0) {}
+      evictions_at_epoch_(store_.classes(), 0) {
+  stats_.class_promotions.resize(store_.classes(), 0);
+}
 
 std::optional<std::span<const std::uint8_t>> FineGrainedReadCache::lookup(
     const FgKey& key) {
@@ -43,6 +45,8 @@ HmbAddr FineGrainedReadCache::tempbuf_addr(std::uint32_t len) {
   if (tempbuf_cursor_ + len > size) tempbuf_cursor_ = 0;
   const HmbAddr addr = hmb_.tempbuf_offset() + tempbuf_cursor_;
   tempbuf_cursor_ += len;
+  stats_.tempbuf_peak_bytes =
+      std::max<std::uint64_t>(stats_.tempbuf_peak_bytes, tempbuf_cursor_);
   return addr;
 }
 
@@ -113,6 +117,7 @@ MissPlan FineGrainedReadCache::plan_miss(const FgKey& key) {
 
   ghosts_.forget(key);
   ++stats_.promotions;
+  if (cls < stats_.class_promotions.size()) ++stats_.class_promotions[cls];
   tables_[key.file].emplace(key.offset, *loc);
   const bool inserted = index_.emplace(key, *loc).second;
   PIPETTE_ASSERT_MSG(inserted, "promoting an already-cached key");

@@ -52,6 +52,8 @@ struct FgrcStats {
   std::uint64_t pressure_migrations = 0;
   std::uint64_t reassigned_slabs = 0;
   std::uint64_t aborted_fills = 0;  // reserved slots poisoned by failed fills
+  std::uint64_t tempbuf_peak_bytes = 0;  // staging cursor high-water mark
+  std::vector<std::uint64_t> class_promotions;  // promotions per slab class
 };
 
 /// Where a fine-grained miss's bytes should land.
@@ -83,7 +85,10 @@ class FineGrainedReadCache {
 
   /// Reinstall externally saved statistics (used by cold restarts, which
   /// rebuild the cache but must not reset cumulative counters).
-  void restore_stats(const FgrcStats& stats) { stats_ = stats; }
+  void restore_stats(const FgrcStats& stats) {
+    stats_ = stats;
+    stats_.class_promotions.resize(store_.classes(), 0);
+  }
 
   /// Delete any cached items overlapping a write to [offset, offset+len)
   /// of `file` (§3.1.3 consistency rule), except an optional `keep` key

@@ -64,8 +64,34 @@ RunResult run_experiment_on(Machine& machine, Workload& workload,
   if (PipettePath* p = machine.pipette_path())
     fgrc0 = p->fgrc().stats().lookups;
   LatencyHistogram lat0 = machine.path().stats().read_latency;
+  std::vector<LatencyHistogram> stage0;
+  if (Tracer* tracer = machine.tracer()) stage0 = tracer->stage_latency();
 
-  for (std::uint64_t i = 0; i < run.requests; ++i) issue(workload.next());
+  // Sim-time series: sampled between requests, so the sampler only reads
+  // counters the simulation maintains anyway and never perturbs it.
+  TimelineSampler sampler(run.timeline, machine.sim().now());
+  auto hit_ratio_since = [](const RatioCounter& now, const RatioCounter& at) {
+    const std::uint64_t accesses = now.accesses() - at.accesses();
+    return accesses == 0 ? 0.0
+                         : static_cast<double>(now.hits() - at.hits()) /
+                               static_cast<double>(accesses);
+  };
+
+  for (std::uint64_t i = 0; i < run.requests; ++i) {
+    issue(workload.next());
+    if (sampler.due(machine.sim().now())) {
+      TimeSample sample;
+      sample.reads = machine.path().stats().reads - reads0;
+      sample.traffic_bytes = machine.io_traffic_bytes() - traffic0;
+      if (PageCache* pc = machine.page_cache())
+        sample.page_cache_hit_ratio = hit_ratio_since(pc->stats().lookups, pc0);
+      if (PipettePath* p = machine.pipette_path()) {
+        sample.fgrc_hit_ratio = hit_ratio_since(p->fgrc().stats().lookups, fgrc0);
+        sample.fgrc_bytes = p->fgrc().memory_bytes();
+      }
+      sampler.record(machine.sim().now(), sample);
+    }
+  }
 
   RunResult result;
   result.path_name = to_string(machine.kind());
@@ -108,6 +134,19 @@ RunResult run_experiment_on(Machine& machine, Workload& workload,
     result.fgrc_bytes = p->fgrc().memory_bytes();
   }
   result.events_executed = machine.sim().events_executed();
+  machine.collect_metrics(result.metrics);
+  result.timeline = sampler.take();
+  if (Tracer* tracer = machine.tracer()) {
+    // Measured-phase stage decomposition: subtract the warmup snapshot
+    // bucket-wise, mirroring the read_latency treatment above.
+    const std::vector<LatencyHistogram>& now = tracer->stage_latency();
+    result.stage_latency.resize(now.size());
+    for (std::size_t s = 0; s < now.size(); ++s) {
+      result.stage_latency[s] =
+          s < stage0.size() ? now[s].diff(stage0[s]) : now[s];
+    }
+    result.trace_spans = tracer->take_spans();
+  }
   result.host_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - host_t0)
           .count();

@@ -16,6 +16,9 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "obs/metrics.h"
+#include "obs/timeline.h"
+#include "obs/trace.h"
 #include "sim/machine.h"
 #include "workload/workload.h"
 
@@ -24,6 +27,7 @@ namespace pipette {
 struct RunConfig {
   std::uint64_t requests = 500'000;  // measured requests
   std::uint64_t warmup = 250'000;    // cache-warming requests (not measured)
+  TimelineConfig timeline;           // sim-time series sampling (off = {})
 };
 
 struct RunResult {
@@ -63,6 +67,28 @@ struct RunResult {
   /// events/sec across PRs (see bench/des_microbench).
   std::uint64_t events_executed = 0;
 
+  /// End-of-run component counters/gauges under dotted names (ssd.*,
+  /// nand.*, page_cache.*, fgrc.*, ...). Always collected — the registry
+  /// reads counters the simulation maintains anyway — so it participates in
+  /// Deterministic() and the serial/parallel and tracing-on/off equivalence
+  /// guarantees.
+  MetricsRegistry metrics;
+
+  /// Measured-phase latency decomposition: one histogram per Stage (indexed
+  /// by static_cast<size_t>(Stage)). Empty unless the machine was built with
+  /// trace.enabled — tracing changes which histograms are populated but not
+  /// the simulation itself, so this is *excluded* from Deterministic().
+  std::vector<LatencyHistogram> stage_latency;
+
+  /// Measured-phase sim-time series (empty unless run.timeline.interval > 0).
+  /// Excluded from Deterministic(): sampling is a run-level option, not part
+  /// of the simulated system.
+  std::vector<TimeSample> timeline;
+
+  /// Raw spans drained from the tracer (empty unless tracing was enabled);
+  /// feed to chrome_trace_json(). Excluded from Deterministic().
+  std::vector<TraceSpan> trace_spans;
+
   /// Host wall-clock spent simulating this cell (warmup + measurement).
   /// The only nondeterministic field: excluded from serial/parallel
   /// equivalence comparisons.
@@ -80,7 +106,7 @@ struct RunResult {
                     p99_latency_us, page_cache_hit_ratio, fgrc_hit_ratio,
                     page_cache_bytes, fgrc_bytes, retries, failed_reads,
                     degraded_reads, down_requests, read_latency,
-                    events_executed);
+                    events_executed, metrics);
   }
 
   /// Fraction of measured reads that returned data (possibly degraded).

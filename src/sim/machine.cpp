@@ -44,6 +44,10 @@ MachineConfig shaped(const MachineConfig& in) {
 
 Machine::Machine(const MachineConfig& config, std::span<const FileSpec> files)
     : config_(shaped(config)) {
+  if (config_.trace.enabled) {
+    tracer_ = std::make_unique<Tracer>(config_.trace);
+    sim_.set_tracer(tracer_.get());
+  }
   ssd_ = std::make_unique<SsdController>(sim_, config_.ssd);
   fs_ = std::make_unique<FileSystem>(ssd_->ftl().lba_count());
   for (const FileSpec& spec : files) {
@@ -97,6 +101,113 @@ PageCache* Machine::page_cache() {
   if (BlockIoPath* b = block_path()) return &b->page_cache();
   if (PipettePath* p = pipette_path()) return &p->block_route().page_cache();
   return nullptr;
+}
+
+void Machine::collect_metrics(MetricsRegistry& out) {
+  out.set("sim.events_executed", sim_.events_executed());
+
+  const ControllerStats& cs = ssd_->stats();
+  out.set("ssd.commands", cs.commands);
+  out.set("ssd.block_reads", cs.block_reads);
+  out.set("ssd.block_writes", cs.block_writes);
+  out.set("ssd.fg_reads", cs.fg_reads);
+  out.set("ssd.fg_ranges", cs.fg_ranges);
+  out.set("ssd.fg_writes", cs.fg_writes);
+  out.set("ssd.cmb_reads", cs.cmb_reads);
+  out.set("ssd.bytes_to_host", cs.bytes_to_host);
+  out.set("ssd.bytes_from_host", cs.bytes_from_host);
+  out.set("ssd.media_errors", cs.media_errors);
+  out.set("ssd.hmb_dma_faults", cs.hmb_dma_faults);
+  out.set("ssd.dropped_completions", cs.dropped_completions);
+  out.set("ssd.read_buffer_hits", cs.read_buffer.hits());
+  out.set("ssd.read_buffer_misses", cs.read_buffer.misses());
+
+  const NandStats& ns = ssd_->nand().stats();
+  out.set("nand.page_reads", ns.page_reads);
+  out.set("nand.page_programs", ns.page_programs);
+  out.set("nand.read_retries", ns.read_retries);
+  out.set("nand.read_failures", ns.read_failures);
+  out.set("nand.bytes_transferred", ns.bytes_transferred);
+
+  out.set("pcie.dma_transfers", ssd_->pcie().dma_transfers());
+  out.set("pcie.dma_bytes", ssd_->pcie().dma_bytes());
+
+  const InfoArea& info = ssd_->hmb().info();
+  out.set("hmb.info_peak_in_flight", info.peak_in_flight());
+  out.set("hmb.info_capacity", info.capacity());
+
+  out.set("faults.nand_draws", ssd_->nand().injector().draws());
+  out.set("faults.nand_fired", ssd_->nand().injector().fired());
+  out.set("faults.hmb_draws", ssd_->hmb_fault_injector().draws());
+  out.set("faults.hmb_fired", ssd_->hmb_fault_injector().fired());
+
+  const PathStats& ps = path_->stats();
+  out.set("path.reads", ps.reads);
+  out.set("path.writes", ps.writes);
+  out.set("path.bytes_requested", ps.bytes_requested);
+  out.set("path.failed_reads", ps.failed_reads);
+  out.set("path.degraded_reads", ps.degraded_reads);
+  out.set("path.failed_writes", ps.failed_writes);
+
+  if (PageCache* pc = page_cache()) {
+    const PageCacheStats& pcs = pc->stats();
+    out.set("page_cache.hits", pcs.lookups.hits());
+    out.set("page_cache.misses", pcs.lookups.misses());
+    out.set("page_cache.fills", pcs.fills);
+    out.set("page_cache.readahead_pages", pcs.readahead_pages);
+    out.set("page_cache.evictions", pcs.evictions);
+    out.set("page_cache.evicted_never_used", pcs.evicted_never_used);
+    out.set("page_cache.peak_pages", pcs.peak_pages);
+    out.set("page_cache.resident_bytes", pc->resident_bytes());
+  }
+
+  if (PipettePath* p = pipette_path()) {
+    const PipettePathStats& pps = p->pipette_stats();
+    out.set("pipette.fine_reads", pps.fine_reads);
+    out.set("pipette.block_reads", pps.block_reads);
+    out.set("pipette.page_cache_served_fine", pps.page_cache_served_fine);
+    out.set("pipette.fine_writes", pps.fine_writes);
+    out.set("pipette.block_writes", pps.block_writes);
+    out.set("pipette.fgrc_inplace_updates", pps.fgrc_inplace_updates);
+    out.set("pipette.hmb_fault_fallbacks", pps.hmb_fault_fallbacks);
+    out.set("pipette.lost_completions", pps.lost_completions);
+
+    const FineGrainedReadCache& fgrc = p->fgrc();
+    const FgrcStats& fs = fgrc.stats();
+    out.set("fgrc.hits", fs.lookups.hits());
+    out.set("fgrc.misses", fs.lookups.misses());
+    out.set("fgrc.promotions", fs.promotions);
+    out.set("fgrc.tempbuf_fills", fs.tempbuf_fills);
+    out.set("fgrc.invalidations", fs.invalidations);
+    out.set("fgrc.pressure_evictions", fs.pressure_evictions);
+    out.set("fgrc.pressure_migrations", fs.pressure_migrations);
+    out.set("fgrc.reassigned_slabs", fs.reassigned_slabs);
+    out.set("fgrc.aborted_fills", fs.aborted_fills);
+    out.set("fgrc.tempbuf_peak_bytes", fs.tempbuf_peak_bytes);
+    out.set("fgrc.memory_bytes", fgrc.memory_bytes());
+    out.set("fgrc.adaptive_threshold", fgrc.adaptive().threshold());
+    out.set("fgrc.adaptive_accesses", fgrc.adaptive().accesses());
+    out.set("fgrc.adaptive_reuses", fgrc.adaptive().reuses());
+
+    const SlabStore& store = fgrc.store();
+    const SlabStoreStats& ss = store.stats();
+    out.set("fgrc.slab_resident_bytes", ss.resident_slab_bytes);
+    out.set("fgrc.slab_external_bytes", ss.external_bytes);
+    out.set("fgrc.slab_live_items", ss.live_items);
+    out.set("fgrc.slab_evictions", ss.evictions);
+    out.set("fgrc.slab_migrations", ss.migrations);
+    for (std::uint32_t cls = 0; cls < store.classes(); ++cls) {
+      const SlabClassStats scs = store.class_stats(cls);
+      const std::string prefix =
+          "fgrc.class." + std::to_string(scs.item_size) + ".";
+      out.set(prefix + "slabs", scs.slabs);
+      out.set(prefix + "live_items", scs.live_items);
+      out.set(prefix + "evictions", scs.evictions);
+      out.set(prefix + "promotions",
+              cls < fs.class_promotions.size() ? fs.class_promotions[cls]
+                                               : 0);
+    }
+  }
 }
 
 void Machine::cold_restart() {

@@ -10,6 +10,8 @@
 #include "iopath/block_io_path.h"
 #include "iopath/pipette_path.h"
 #include "iopath/twob_ssd_path.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/machine_config.h"
 #include "workload/workload.h"
 
@@ -47,9 +49,18 @@ class Machine {
   /// statistics are preserved.
   void cold_restart();
 
+  /// The machine's tracer, or nullptr when config.trace.enabled is false.
+  Tracer* tracer() { return tracer_.get(); }
+
+  /// Snapshot every component's counters/gauges into `out` under dotted
+  /// names (ssd.*, nand.*, page_cache.*, fgrc.*, ...). Always available —
+  /// collection does not depend on tracing.
+  void collect_metrics(MetricsRegistry& out);
+
  private:
   MachineConfig config_;
   Simulator sim_;
+  std::unique_ptr<Tracer> tracer_;
   std::unique_ptr<SsdController> ssd_;
   std::unique_ptr<FileSystem> fs_;
   std::unique_ptr<ReadPathBase> path_;

@@ -24,6 +24,7 @@
 #include "hostmem/host_timing.h"
 #include "hostmem/page_cache.h"
 #include "iopath/pipette_path.h"
+#include "obs/trace.h"
 #include "ssd/controller.h"
 
 namespace pipette {
@@ -49,6 +50,7 @@ struct MachineConfig {
   ReadaheadConfig readahead{/*initial_window=*/1, /*max_window=*/32,
                             /*enabled=*/true};
   PipettePathConfig pipette;  // used by the Pipette kinds
+  TraceConfig trace;          // per-stage tracing (off by default)
 };
 
 /// Defaults matching the synthetic-workload experiments (§4.2).

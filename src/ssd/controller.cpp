@@ -82,6 +82,11 @@ void SsdController::submit(Command cmd, Completion done) {
   // {this, slot} and stays within the callback's inline buffer.
   const SimDuration entry =
       config_.timing.submission + config_.timing.firmware_per_cmd;
+  PIPETTE_TRACE_SPAN(sim_, Stage::kQueue, sim_.now(),
+                     sim_.now() + config_.timing.submission);
+  PIPETTE_TRACE_SPAN(sim_, Stage::kFtl,
+                     sim_.now() + config_.timing.submission,
+                     sim_.now() + entry);
   std::uint32_t slot;
   if (!pending_free_.empty()) {
     slot = pending_free_.back();
@@ -133,6 +138,8 @@ void SsdController::recycle_fg_ranges(std::vector<FgRange>&& ranges) {
 }
 
 void SsdController::complete(Completion& done, CommandResult result) {
+  PIPETTE_TRACE_SPAN(sim_, Stage::kComplete, sim_.now(),
+                     sim_.now() + config_.timing.completion);
   sim_.schedule(config_.timing.completion,
                 [done = std::move(done), result]() { done(result); });
 }
@@ -423,14 +430,20 @@ void SsdController::do_fg_read(Command cmd, Completion done) {
         PIPETTE_ASSERT(rec.lba == r->lba);
         PIPETTE_ASSERT(rec.byte_offset == r->offset);
         PIPETTE_ASSERT(rec.byte_len == r->len);
+        PIPETTE_TRACE_SPAN(sim_, Stage::kFtl, sim_.now(),
+                           sim_.now() + config_.timing.firmware_per_range);
         sim_.schedule(config_.timing.firmware_per_range, [this, job, rec]() {
-          pcie_.dma(rec.byte_len, [this, job, rec]() {
-            std::vector<std::uint8_t> tmp(rec.byte_len);
-            content_.read(rec.lba, rec.byte_offset, {tmp.data(), tmp.size()});
-            hmb_.dma_write(rec.dest, {tmp.data(), tmp.size()});
-            stats_.bytes_to_host += rec.byte_len;
-            fg_range_done(job);
-          });
+          pcie_.dma(
+              rec.byte_len,
+              [this, job, rec]() {
+                std::vector<std::uint8_t> tmp(rec.byte_len);
+                content_.read(rec.lba, rec.byte_offset,
+                              {tmp.data(), tmp.size()});
+                hmb_.dma_write(rec.dest, {tmp.data(), tmp.size()});
+                stats_.bytes_to_host += rec.byte_len;
+                fg_range_done(job);
+              },
+              Stage::kHmbDma);
         });
       }
     });

@@ -144,6 +144,7 @@ class SsdController {
   PcieLink& pcie() { return pcie_; }
   const ControllerStats& stats() const { return stats_; }
   const ControllerConfig& config() const { return config_; }
+  const FaultInjector& hmb_fault_injector() const { return hmb_faults_; }
 
   /// Account device->host bytes moved outside submit() flows (CMB pulls).
   void add_host_traffic(std::uint64_t bytes) { stats_.bytes_to_host += bytes; }

@@ -1,5 +1,6 @@
 #include "ssd/hmb.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/assert.h"
@@ -15,6 +16,7 @@ std::uint64_t InfoArea::push(const InfoRecord& rec) {
   PIPETTE_ASSERT_MSG(!full(), "Info Area ring overflow");
   const std::uint64_t idx = tail_++;
   slots_[idx % capacity_] = rec;
+  peak_in_flight_ = std::max(peak_in_flight_, in_flight());
   return idx;
 }
 

@@ -44,6 +44,8 @@ class InfoArea {
     return static_cast<std::uint32_t>(tail_ - head_);
   }
   std::uint32_t capacity() const { return capacity_; }
+  /// Occupancy high-water mark (max in_flight() ever observed after a push).
+  std::uint32_t peak_in_flight() const { return peak_in_flight_; }
 
   /// Host side: append a record; returns its monotonic index. Ring must not
   /// be full (callers back-pressure on full()).
@@ -63,6 +65,7 @@ class InfoArea {
   std::uint32_t capacity_;
   std::uint64_t head_ = 0;
   std::uint64_t tail_ = 0;
+  std::uint32_t peak_in_flight_ = 0;
   std::vector<InfoRecord> slots_;
 };
 

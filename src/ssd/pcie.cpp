@@ -4,7 +4,8 @@
 
 namespace pipette {
 
-void PcieLink::dma(std::uint64_t bytes, Simulator::Callback on_done) {
+void PcieLink::dma(std::uint64_t bytes, Simulator::Callback on_done,
+                   Stage stage) {
   const SimTime start = std::max(sim_.now(), busy_until_);
   const SimTime end =
       start + timing_.dma_overhead +
@@ -13,6 +14,9 @@ void PcieLink::dma(std::uint64_t bytes, Simulator::Callback on_done) {
   busy_until_ = end;
   ++dma_transfers_;
   dma_bytes_ += bytes;
+  // Span includes time queued behind in-flight transfers on the shared
+  // link, not just the wire time — link contention is the point.
+  PIPETTE_TRACE_SPAN(sim_, stage, sim_.now(), end);
   sim_.schedule_at(end, std::move(on_done));
 }
 

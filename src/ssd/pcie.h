@@ -16,6 +16,7 @@
 
 #include "common/units.h"
 #include "des/simulator.h"
+#include "obs/trace.h"
 
 namespace pipette {
 
@@ -32,8 +33,11 @@ class PcieLink {
   PcieLink(Simulator& sim, PcieTiming timing) : sim_(sim), timing_(timing) {}
 
   /// Schedule a DMA of `bytes`; `on_done` runs when the last TLP lands.
-  /// Transfers queue behind any in-flight DMA (shared link).
-  void dma(std::uint64_t bytes, Simulator::Callback on_done);
+  /// Transfers queue behind any in-flight DMA (shared link). `stage` labels
+  /// the transfer for the tracer: kPcieDma for block/CMB data, kHmbDma for
+  /// fine-grained writes into the host memory buffer.
+  void dma(std::uint64_t bytes, Simulator::Callback on_done,
+           Stage stage = Stage::kPcieDma);
 
   /// Pure cost of an MMIO read of `bytes` (CPU-synchronous; the caller adds
   /// it to host time).

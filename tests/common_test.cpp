@@ -6,6 +6,7 @@
 #include <atomic>
 #include <cmath>
 #include <future>
+#include <limits>
 #include <map>
 #include <memory>
 #include <set>
@@ -14,6 +15,7 @@
 
 #include "common/bytes.h"
 #include "common/inline_function.h"
+#include "common/json.h"
 #include "common/lru.h"
 #include "common/rng.h"
 #include "common/stats.h"
@@ -560,6 +562,133 @@ TEST(Table, ShortRowsArePadded) {
   t.add_row({"only"});
   EXPECT_EQ(t.rows(), 1u);
   EXPECT_NE(t.to_text().find("only"), std::string::npos);
+}
+
+TEST(OnlineStats, VarianceUndefinedBelowTwoSamples) {
+  OnlineStats s;
+  EXPECT_EQ(s.variance(), 0.0);  // n = 0
+  EXPECT_EQ(s.stddev(), 0.0);
+  s.add(42.0);
+  EXPECT_EQ(s.variance(), 0.0);  // n = 1: sample variance needs n >= 2
+  EXPECT_EQ(s.stddev(), 0.0);
+  s.add(42.0);
+  EXPECT_EQ(s.variance(), 0.0);  // identical samples: defined, and zero
+}
+
+TEST(LatencyHistogram, DiffOfIdenticalSnapshotsIsEmpty) {
+  LatencyHistogram h;
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) h.record(rng.next_below(1u << 16));
+  const LatencyHistogram d = h.diff(h);
+  EXPECT_EQ(d.count(), 0u);
+  EXPECT_EQ(d.mean_ns(), 0.0);
+  EXPECT_EQ(d.percentile(99), 0);
+  EXPECT_EQ(d, LatencyHistogram{});
+}
+
+TEST(LatencyHistogram, MergeOfEmptyIsIdentity) {
+  LatencyHistogram h, empty;
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) h.record(rng.next_below(1u << 16));
+  const LatencyHistogram before = h;
+  h.merge(empty);
+  EXPECT_EQ(h, before);
+  empty.merge(before);
+  EXPECT_EQ(empty, before);
+}
+
+TEST(LatencyHistogram, PercentileMonotonicityProperty) {
+  // Property: for random samples and random percentile pairs p <= q,
+  // percentile(p) <= percentile(q); and every readout lies in [min, max].
+  Rng rng(31);
+  for (int round = 0; round < 20; ++round) {
+    LatencyHistogram h;
+    const int n = 1 + static_cast<int>(rng.next_below(2000));
+    for (int i = 0; i < n; ++i) h.record(rng.next_below(1ull << 40));
+    for (int trial = 0; trial < 50; ++trial) {
+      double p = rng.next_double() * 100.0;
+      double q = rng.next_double() * 100.0;
+      if (p > q) std::swap(p, q);
+      EXPECT_LE(h.percentile(p), h.percentile(q));
+    }
+    // Extremes are representative bucket midpoints: within the log-bucket
+    // value error (<7%) of the true recorded extremes.
+    EXPECT_GE(static_cast<double>(h.percentile(0)),
+              static_cast<double>(h.min()) * 0.93 - 1.0);
+    EXPECT_LE(static_cast<double>(h.percentile(100)),
+              static_cast<double>(h.max()) * 1.07 + 1.0);
+  }
+}
+
+TEST(LatencyHistogram, SummaryIncludesCountAndTailPercentiles) {
+  LatencyHistogram h;
+  for (int i = 0; i < 100; ++i) h.record(1000 * (i + 1));
+  const std::string s = h.summary();
+  EXPECT_NE(s.find("n=100"), std::string::npos) << s;
+  EXPECT_NE(s.find("p50="), std::string::npos) << s;
+  EXPECT_NE(s.find("p99="), std::string::npos) << s;
+  EXPECT_NE(s.find("p999="), std::string::npos) << s;
+  EXPECT_NE(s.find("max="), std::string::npos) << s;
+}
+
+TEST(JsonWriter, ObjectsArraysAndCommas) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("name", "pipette");
+  w.kv("count", std::uint64_t{42});
+  w.kv("ratio", 0.5, 3);
+  w.kv("on", true);
+  w.key("list");
+  w.begin_array();
+  w.value(std::uint64_t{1});
+  w.value(std::uint64_t{2});
+  w.begin_object();
+  w.kv("nested", -7);
+  w.end_object();
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            "{\"name\":\"pipette\",\"count\":42,\"ratio\":0.500,\"on\":true,"
+            "\"list\":[1,2,{\"nested\":-7}]}");
+  EXPECT_TRUE(json_valid(w.str()));
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  EXPECT_EQ(JsonWriter::escape("a\"b\\c\n\t\x01"),
+            "a\\\"b\\\\c\\n\\t\\u0001");
+  JsonWriter w;
+  w.begin_object();
+  w.kv("k\"ey", "va\\lue\n");
+  w.end_object();
+  EXPECT_TRUE(json_valid(w.str()));
+}
+
+TEST(JsonWriter, NonFiniteDoublesRenderAsZero) {
+  JsonWriter w;
+  w.begin_array();
+  w.value(std::nan(""), 3);
+  w.value(std::numeric_limits<double>::infinity(), 3);
+  w.end_array();
+  EXPECT_TRUE(json_valid(w.str()));
+  EXPECT_EQ(w.str().find("nan"), std::string::npos);
+  EXPECT_EQ(w.str().find("inf"), std::string::npos);
+}
+
+TEST(JsonValid, AcceptsAndRejects) {
+  EXPECT_TRUE(json_valid("{}"));
+  EXPECT_TRUE(json_valid("[]"));
+  EXPECT_TRUE(json_valid("  {\"a\": [1, 2.5, -3e2, true, false, null]} "));
+  EXPECT_TRUE(json_valid("\"just a string\""));
+  EXPECT_TRUE(json_valid("-0.5"));
+  EXPECT_FALSE(json_valid(""));
+  EXPECT_FALSE(json_valid("{"));
+  EXPECT_FALSE(json_valid("{\"a\":}"));
+  EXPECT_FALSE(json_valid("[1,]"));
+  EXPECT_FALSE(json_valid("{\"a\":1} trailing"));
+  EXPECT_FALSE(json_valid("{'single': 1}"));
+  EXPECT_FALSE(json_valid("{\"a\":01}"));
+  EXPECT_FALSE(json_valid("\"unterminated"));
+  EXPECT_FALSE(json_valid("nul"));
 }
 
 }  // namespace
