@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
   // --jobs threads; results are bit-identical to the serial loop.
   std::vector<ExperimentCell> cells;
   for (const Variant& v : variants) {
-    MachineConfig config = default_machine(PathKind::kPipette);
+    MachineConfig config = default_machine_for(args, PathKind::kPipette);
     config.pipette.fgrc.adaptive.enabled = v.adaptive;
     config.pipette.fgrc.adaptive.initial_threshold = v.threshold;
     config.pipette.fgrc.adaptive.min_threshold = 1;

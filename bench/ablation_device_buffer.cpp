@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
   for (std::uint64_t buffer_mib : {16ull, 64ull, 512ull}) {
     for (bool block_uses : {false, true}) {
       auto make_machine = [&](PathKind kind) {
-        MachineConfig config = default_machine(kind);
+        MachineConfig config = default_machine_for(args, kind);
         config.ssd.read_buffer_bytes = buffer_mib * kMiB;
         config.ssd.block_reads_use_buffer = block_uses;
         return config;

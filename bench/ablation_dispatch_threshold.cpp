@@ -16,7 +16,7 @@ int main(int argc, char** argv) {
 
   Table t({"fine_max_len", "thpt (req/s)", "traffic MiB", "fine reads %"});
   for (std::uint32_t fine_max : {32u, 64u, 128u, 512u, 4096u}) {
-    MachineConfig config = default_machine(PathKind::kPipette);
+    MachineConfig config = default_machine_for(args, PathKind::kPipette);
     config.pipette.dispatch.fine_max_len = fine_max;
     SearchConfig sc;
     sc.seed = args.seed;

@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
   Table t({"Variant", "thpt (req/s)", "FGRC hit %", "evictions",
            "migrations", "FGRC MiB"});
   for (const Variant& v : variants) {
-    MachineConfig config = default_machine(PathKind::kPipette);
+    MachineConfig config = default_machine_for(args, PathKind::kPipette);
     config.ssd.hmb.data_bytes = 16ull * kMiB;  // tight: pressure runs
     config.pipette.fgrc.slab.max_external_bytes = 8ull * kMiB;
     config.pipette.fgrc.policy = v.policy;

@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
     LinkBenchConfig lc;
     lc.seed = args.seed;
     LinkBenchWorkload w(lc);
-    MachineConfig config = realapp_machine(PathKind::kPipette);
+    MachineConfig config = realapp_machine_for(args, PathKind::kPipette);
     config.pipette.fine_writes = fine_writes;
     Machine machine(config, w.files());
     std::vector<int> fds;

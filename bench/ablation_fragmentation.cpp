@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
   Table t({"max extent", "scan MiB/s", "merged cmds per 16-page read"});
   for (std::uint64_t max_extent : {0ull, 16ull, 4ull, 1ull}) {
     ScanWorkload w(max_extent);
-    MachineConfig config = default_machine(PathKind::kBlockIo);
+    MachineConfig config = default_machine_for(args, PathKind::kBlockIo);
     config.page_cache_bytes = 8 * kMiB;  // scan never fits: always fetch
     Machine machine(config, w.files());
     const int fd =

@@ -58,7 +58,7 @@ int main(int argc, char** argv) {
   Table t({"Variant", "phase-2 FGRC hit %", "phase-2 thpt (req/s)",
            "reassigned slabs"});
   for (bool reassign : {true, false}) {
-    MachineConfig config = default_machine(PathKind::kPipette);
+    MachineConfig config = default_machine_for(args, PathKind::kPipette);
     config.ssd.hmb.data_bytes = 24ull * kMiB;  // tight: phases must share
     config.pipette.fgrc.reassign.enabled = reassign;
     config.pipette.fgrc.reassign.epoch_accesses = 8 * 1024;

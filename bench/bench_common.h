@@ -37,6 +37,29 @@ struct Scale {
   RunConfig run() const { return {requests, warmup}; }
 };
 
+/// --queue as a QueueKind for single-backend benches ("" and "both" mean
+/// the default heap; only comparative benches interpret "both" themselves).
+inline QueueKind queue_kind_of(const BenchArgs& args) {
+  return args.queue == "wheel" ? QueueKind::kWheel : QueueKind::kHeap;
+}
+
+/// default_machine / realapp_machine with the --queue backend applied —
+/// what every bench that builds configs by hand should call, so --queue
+/// works uniformly across the suite.
+inline MachineConfig default_machine_for(const BenchArgs& args,
+                                         PathKind kind) {
+  MachineConfig config = default_machine(kind);
+  config.queue = queue_kind_of(args);
+  return config;
+}
+
+inline MachineConfig realapp_machine_for(const BenchArgs& args,
+                                         PathKind kind) {
+  MachineConfig config = realapp_machine(kind);
+  config.queue = queue_kind_of(args);
+  return config;
+}
+
 inline const char* short_name(PathKind kind) {
   switch (kind) {
     case PathKind::kBlockIo:
@@ -57,21 +80,26 @@ inline const char* short_name(PathKind kind) {
 using Column = std::map<PathKind, RunResult>;
 
 /// Run the five systems over the Table 1 synthetic workloads of one
-/// distribution, fanning the 25 independent cells over `jobs` threads
+/// distribution, fanning the 25 independent cells over `args.jobs` threads
 /// (0 = hardware concurrency, 1 = serial). Each cell constructs its own
 /// deterministically seeded workload, so the matrix is bit-identical at any
-/// job count. `make_machine` lets ablations tweak configs per kind.
+/// job count — and at any --queue backend, which is applied to every cell's
+/// machine here. `make_machine` lets ablations tweak configs per kind.
 /// Prints an end-of-matrix summary of host wall-clock vs per-cell CPU time.
 inline std::map<char, Column> run_synthetic_matrix(
-    Distribution dist, const Scale& scale, std::uint64_t seed,
-    unsigned jobs = 0,
+    Distribution dist, const Scale& scale, const BenchArgs& args,
     const std::function<MachineConfig(PathKind)>& make_machine =
         [](PathKind k) { return default_machine(k); }) {
+  const std::uint64_t seed = args.seed;
+  const unsigned jobs = args.jobs;
+  const QueueKind queue = queue_kind_of(args);
   std::vector<ExperimentCell> cells;
   std::vector<std::pair<char, PathKind>> labels;
   for (char wl : {'A', 'B', 'C', 'D', 'E'}) {
     for (PathKind kind : kAllPaths) {
-      cells.push_back({make_machine(kind),
+      MachineConfig config = make_machine(kind);
+      config.queue = queue;
+      cells.push_back({std::move(config),
                        [wl, dist, seed]() -> std::unique_ptr<Workload> {
                          return std::make_unique<SyntheticWorkload>(
                              table1_workload(wl, dist, seed));
@@ -169,6 +197,7 @@ inline void write_json_summary(const BenchArgs& args, const char* bench,
   w.begin_object();
   w.kv("bench", bench);
   w.kv("jobs", args.jobs);
+  w.kv("queue", to_string(queue_kind_of(args)));
   w.kv("total_host_seconds", total_seconds, 6);
   w.kv("total_events_executed", total_events);
   w.kv("events_per_sec",

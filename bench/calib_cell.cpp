@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
 
   SyntheticWorkload workload(table1_workload(wl, dist, args.seed));
   const RunResult r =
-      run_experiment(default_machine(kind), workload, scale.run());
+      run_experiment(default_machine_for(args, kind), workload, scale.run());
 
   std::printf("%s, workload %c, %s\n", short_name(kind), wl, argv[2]);
   std::printf("  mean latency   : %.2f us (p50 %.2f, p99 %.2f)\n",

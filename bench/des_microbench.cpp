@@ -1,18 +1,37 @@
 // Microbenchmark of the discrete-event core: raw events/sec through the
-// Simulator, plus the host cost of one fixed fig6-style experiment cell.
+// Simulator for each event-queue backend, plus the host cost of one fixed
+// fig6-style experiment cell.
 //
-// Two measurements, both written to BENCH_des.json (override with --json)
-// so the DES hot-loop's throughput is tracked across PRs:
-//  1. "raw": a lane of self-rescheduling tick events per concurrent timer —
-//     the pure schedule/pop/dispatch loop with a realistic (non-trivial)
-//     heap occupancy and small captures that must stay inside the
-//     callback's inline buffer (the bench asserts zero heap fallbacks).
-//  2. "cell": one Pipette / workload-E / uniform cell at a fixed request
+// Measurements, all written to BENCH_des.json (override with --json) so the
+// DES hot-loop's throughput is tracked across PRs:
+//  1. "uniform_ticks": lanes of self-rescheduling tick events with co-prime
+//     periods — the pure schedule/pop/dispatch loop with realistic queue
+//     occupancy and small captures that must stay inside the callback's
+//     inline buffer (the bench asserts zero heap fallbacks).
+//  2. "clustered": lanes sharing a handful of fixed latency-like periods
+//     (a few hundred ns .. tens of us), the shape the SSD model actually
+//     produces — many events land on identical timestamps, exercising the
+//     batch run-drain and the wheel's slot locality.
+//  Both run once per --queue backend (default: both), so the JSON carries a
+//  direct heap-vs-wheel comparison on the same workload.
+//  3. "cell": one Pipette / workload-E / uniform cell at a fixed request
 //     count — the end-to-end host_seconds and events_executed the paper
 //     benches actually pay per matrix cell.
+//
+// Before any timing, a differential selfcheck replays one pseudo-random
+// event script (zero deltas, clustered deltas, far-future deltas that spill
+// past the wheel horizon, pushes from inside callbacks) through a heap
+// Simulator and a wheel Simulator and requires the executed (id, when)
+// sequences to be identical. A mismatch — or any InlineFunction heap
+// fallback — makes the bench exit nonzero, which the perf_smoke ctest turns
+// into a failure.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <memory>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 #include "bench_common.h"
 #include "common/inline_function.h"
@@ -35,31 +54,116 @@ struct Ticker {
   }
 };
 
-double measure_raw_events_per_sec(std::uint64_t total_events,
-                                  std::uint64_t* heap_fallbacks,
-                                  double* seconds_out) {
+struct RawResult {
+  std::uint64_t events = 0;
+  double seconds = 0.0;
+  double events_per_sec = 0.0;
+  std::uint64_t heap_fallbacks = 0;
+  std::uint64_t overflow_pushes = 0;
+  std::size_t peak_queue_size = 0;
+};
+
+// The two raw workload shapes. `clustered` uses a handful of shared
+// latency-like periods, so each timestamp hosts a run of ~16 events — the
+// regime the batch drain and the wheel are built for.
+constexpr SimDuration kClusteredPeriods[] = {480, 3'200, 20'000, 65'000};
+
+RawResult measure_raw(QueueKind queue, bool clustered,
+                      std::uint64_t total_events) {
   constexpr std::uint32_t kLanes = 64;
-  Simulator sim;
+  Simulator sim(queue);
   std::vector<Ticker> lanes(kLanes);
   for (std::uint32_t i = 0; i < kLanes; ++i) {
     lanes[i].sim = &sim;
     lanes[i].remaining = total_events / kLanes;
-    // Co-prime-ish periods give the queue a realistic mix of orderings
-    // (plenty of duplicate timestamps included).
-    lanes[i].period = 1 + (i % 7);
+    // Uniform: co-prime-ish periods give the queue a realistic mix of
+    // orderings (with duplicate timestamps sprinkled in).
+    lanes[i].period = clustered ? kClusteredPeriods[i % 4] : 1 + (i % 7);
   }
   const std::uint64_t heap0 = inline_function_heap_allocations();
   const auto t0 = std::chrono::steady_clock::now();
   for (Ticker& lane : lanes) lane.arm();
   sim.run_all();
-  const double seconds =
+  RawResult r;
+  r.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
-  *heap_fallbacks = inline_function_heap_allocations() - heap0;
-  *seconds_out = seconds;
-  return seconds > 0.0
-             ? static_cast<double>(sim.events_executed()) / seconds
-             : 0.0;
+  r.events = sim.events_executed();
+  r.events_per_sec =
+      r.seconds > 0.0 ? static_cast<double>(r.events) / r.seconds : 0.0;
+  r.heap_fallbacks = inline_function_heap_allocations() - heap0;
+  r.overflow_pushes = sim.queue_overflow_pushes();
+  r.peak_queue_size = sim.queue_peak_size();
+  return r;
+}
+
+// Differential order check: one deterministic pseudo-random script of
+// self-propagating events, replayed on both backends. Each executed event
+// appends (id, now) to its trace; callbacks push 0..2 children with deltas
+// spanning zero (same-timestamp runs), small clustered values, and
+// far-future jumps beyond the wheel's 2^24 ns horizon (overflow spill and
+// refill). The drain order contract says the traces must match exactly.
+struct ScriptState {
+  Simulator* sim;
+  std::vector<std::pair<std::uint64_t, SimTime>>* trace;
+  std::uint64_t rng;
+  std::uint64_t next_id = 0;
+  std::uint64_t budget = 0;
+
+  std::uint64_t rand() {
+    rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+    return rng >> 33;
+  }
+
+  void spawn() {
+    const std::uint64_t id = next_id++;
+    static constexpr SimDuration kDeltas[] = {0,      0,         1,
+                                              480,    3'200,     65'000,
+                                              99'999, 20'000'000, 40'000'000};
+    const SimDuration delta = kDeltas[rand() % (sizeof kDeltas /
+                                                sizeof kDeltas[0])];
+    sim->schedule(delta, [this, id] {
+      trace->emplace_back(id, sim->now());
+      if (budget == 0) return;
+      const std::uint64_t kids = rand() % 3;
+      for (std::uint64_t k = 0; k < kids && budget > 0; ++k) {
+        --budget;
+        spawn();
+      }
+    });
+  }
+};
+
+bool selfcheck_order(std::uint64_t events) {
+  std::vector<std::pair<std::uint64_t, SimTime>> traces[2];
+  const QueueKind kinds[2] = {QueueKind::kHeap, QueueKind::kWheel};
+  for (int v = 0; v < 2; ++v) {
+    Simulator sim(kinds[v]);
+    ScriptState s{&sim, &traces[v], /*rng=*/0x9e3779b97f4a7c15ull, 0, events};
+    for (int seedlings = 0; seedlings < 64 && s.budget > 0; ++seedlings) {
+      --s.budget;
+      s.spawn();
+    }
+    sim.run_all();
+  }
+  if (traces[0] == traces[1]) return true;
+  std::fprintf(stderr,
+               "pipette: heap/wheel drain order DIVERGED (%zu vs %zu events",
+               traces[0].size(), traces[1].size());
+  const std::size_t n = std::min(traces[0].size(), traces[1].size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (traces[0][i] == traces[1][i]) continue;
+    std::fprintf(stderr,
+                 "; first mismatch at %zu: heap id=%llu t=%llu, wheel "
+                 "id=%llu t=%llu",
+                 i, static_cast<unsigned long long>(traces[0][i].first),
+                 static_cast<unsigned long long>(traces[0][i].second),
+                 static_cast<unsigned long long>(traces[1][i].first),
+                 static_cast<unsigned long long>(traces[1][i].second));
+    break;
+  }
+  std::fprintf(stderr, ")\n");
+  return false;
 }
 
 }  // namespace
@@ -73,38 +177,79 @@ int main(int argc, char** argv) {
   if (args.quick) raw_events = 200'000;
   if (args.requests != 0) raw_events = args.requests;
 
+  std::vector<QueueKind> kinds;
+  if (args.queue == "heap")
+    kinds = {QueueKind::kHeap};
+  else if (args.queue == "wheel")
+    kinds = {QueueKind::kWheel};
+  else
+    kinds = {QueueKind::kHeap, QueueKind::kWheel};
+
   std::printf("=== DES microbench — event core throughput ===\n");
 
-  std::uint64_t heap_fallbacks = 0;
-  double raw_seconds = 0.0;
-  const double events_per_sec =
-      measure_raw_events_per_sec(raw_events, &heap_fallbacks, &raw_seconds);
-  std::printf(
-      "raw event loop : %llu events in %.3fs -> %.0f events/sec "
-      "(%llu heap-fallback callbacks)\n",
-      static_cast<unsigned long long>(raw_events), raw_seconds,
-      events_per_sec, static_cast<unsigned long long>(heap_fallbacks));
-  if (heap_fallbacks != 0) {
+  const bool order_ok = selfcheck_order(std::min<std::uint64_t>(
+      raw_events, 200'000));
+  std::printf("order selfcheck: %s (heap vs wheel, randomized script)\n",
+              order_ok ? "ok" : "FAILED");
+
+  struct Variant {
+    QueueKind queue;
+    const char* workload;
+    RawResult result;
+  };
+  std::vector<Variant> variants;
+  std::uint64_t total_fallbacks = 0;
+  for (QueueKind kind : kinds) {
+    for (bool clustered : {false, true}) {
+      const char* workload = clustered ? "clustered" : "uniform_ticks";
+      RawResult r = measure_raw(kind, clustered, raw_events);
+      total_fallbacks += r.heap_fallbacks;
+      std::printf(
+          "%-14s : %-13s %llu events in %.3fs -> %.0f events/sec "
+          "(peak queue %zu, %llu overflow, %llu heap-fallback cbs)\n",
+          to_string(kind), workload,
+          static_cast<unsigned long long>(r.events), r.seconds,
+          r.events_per_sec, r.peak_queue_size,
+          static_cast<unsigned long long>(r.overflow_pushes),
+          static_cast<unsigned long long>(r.heap_fallbacks));
+      variants.push_back({kind, workload, r});
+    }
+  }
+  if (kinds.size() == 2) {
+    for (const char* workload : {"uniform_ticks", "clustered"}) {
+      double heap_rate = 0.0, wheel_rate = 0.0;
+      for (const Variant& v : variants) {
+        if (std::string_view(v.workload) != workload) continue;
+        (v.queue == QueueKind::kHeap ? heap_rate : wheel_rate) =
+            v.result.events_per_sec;
+      }
+      if (heap_rate > 0.0)
+        std::printf("speedup        : %-13s wheel/heap = %.2fx\n", workload,
+                    wheel_rate / heap_rate);
+    }
+  }
+  if (total_fallbacks != 0) {
     std::fprintf(stderr,
                  "pipette: WARNING — raw loop callbacks fell back to the "
                  "heap; the SBO regressed\n");
   }
 
   // Fixed cell (never rescaled by --quick/--requests: the point is a number
-  // comparable across PRs).
+  // comparable across PRs). Honors --queue wheel; heap otherwise.
   SyntheticConfig sc = table1_workload('E', Distribution::kUniform, 42);
   sc.file_size = 8 * kMiB;
   SyntheticWorkload workload(sc);
   const RunConfig run{20'000, 10'000};
-  const RunResult cell =
-      run_experiment(default_machine(PathKind::kPipette), workload, run);
+  const RunResult cell = run_experiment(
+      default_machine_for(args, PathKind::kPipette), workload, run);
   const double cell_events_per_sec =
       cell.host_seconds > 0.0
           ? static_cast<double>(cell.events_executed) / cell.host_seconds
           : 0.0;
   std::printf(
-      "fixed cell     : Pipette/E/uniform, %llu+%llu requests -> %.3fs "
-      "host, %llu events (%.0f events/sec)\n",
+      "fixed cell     : Pipette/E/uniform (%s), %llu+%llu requests -> "
+      "%.3fs host, %llu events (%.0f events/sec)\n",
+      to_string(queue_kind_of(args)),
       static_cast<unsigned long long>(run.requests),
       static_cast<unsigned long long>(run.warmup), cell.host_seconds,
       static_cast<unsigned long long>(cell.events_executed),
@@ -116,13 +261,27 @@ int main(int argc, char** argv) {
   w.begin_object();
   w.kv("bench", "des_microbench");
   w.kv("raw_events", raw_events);
-  w.kv("raw_host_seconds", raw_seconds, 6);
-  w.kv("raw_events_per_sec", events_per_sec, 0);
-  w.kv("raw_heap_fallback_callbacks", heap_fallbacks);
+  w.kv("order_selfcheck_ok", order_ok);
+  w.key("variants");
+  w.begin_array();
+  for (const Variant& v : variants) {
+    w.begin_object();
+    w.kv("queue", to_string(v.queue));
+    w.kv("workload", v.workload);
+    w.kv("events", v.result.events);
+    w.kv("host_seconds", v.result.seconds, 6);
+    w.kv("events_per_sec", v.result.events_per_sec, 0);
+    w.kv("overflow_pushes", v.result.overflow_pushes);
+    w.kv("peak_queue_size", v.result.peak_queue_size);
+    w.kv("heap_fallback_callbacks", v.result.heap_fallbacks);
+    w.end_object();
+  }
+  w.end_array();
   w.key("cell");
   w.begin_object();
   w.kv("system", "Pipette");
   w.kv("workload", "E");
+  w.kv("queue", to_string(queue_kind_of(args)));
   w.kv("requests", run.requests);
   w.kv("warmup", run.warmup);
   w.kv("host_seconds", cell.host_seconds, 6);
@@ -133,5 +292,5 @@ int main(int argc, char** argv) {
   w.end_object();
   if (!w.write_file(json_path)) return 1;
   std::printf("summary        : %s\n", json_path.c_str());
-  return heap_fallbacks == 0 ? 0 : 1;
+  return (total_fallbacks == 0 && order_ok) ? 0 : 1;
 }

@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
     SearchConfig sc;
     sc.seed = args.seed;
     SearchWorkload w(sc);
-    results[kind] = run_experiment(realapp_machine(kind), w, scale.run());
+    results[kind] = run_experiment(realapp_machine_for(args, kind), w, scale.run());
     std::fprintf(stderr, "  %-18s done (%.2f us)\n", short_name(kind),
                  results[kind].mean_latency_us);
   }

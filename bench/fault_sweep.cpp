@@ -37,8 +37,9 @@ struct FaultCell {
   RunResult result;
 };
 
-MachineConfig faulty_machine(PathKind kind, double rate) {
-  MachineConfig m = default_machine(kind);
+MachineConfig faulty_machine(const BenchArgs& args, PathKind kind,
+                             double rate) {
+  MachineConfig m = default_machine_for(args, kind);
   m.ssd.faults.nand.read_error_rate = rate;
   m.ssd.faults.hmb.dma_fault_rate = rate;
   m.ssd.faults.hmb.drop_rate = rate / 10.0;
@@ -109,7 +110,7 @@ int main(int argc, char** argv) {
   for (double rate : kRates) {
     for (PathKind kind : kAllPaths) {
       const std::uint64_t seed = args.seed;
-      cells.push_back({faulty_machine(kind, rate),
+      cells.push_back({faulty_machine(args, kind, rate),
                        [seed]() -> std::unique_ptr<Workload> {
                          return std::make_unique<SyntheticWorkload>(
                              table1_workload('C', Distribution::kUniform,

@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
         workload = std::make_unique<LinkBenchWorkload>(lc);
       }
       results[kind] =
-          run_experiment(realapp_machine(kind), *workload, scale.run());
+          run_experiment(realapp_machine_for(args, kind), *workload, scale.run());
       std::fprintf(stderr, "  %-20s %-12s done\n", app_name,
                    short_name(kind));
     }

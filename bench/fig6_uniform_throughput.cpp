@@ -16,7 +16,7 @@ int main(int argc, char** argv) {
   print_header("Fig. 6 — normalized throughput, synthetic, uniform", scale);
 
   const auto matrix =
-      run_synthetic_matrix(Distribution::kUniform, scale, args.seed, args.jobs);
+      run_synthetic_matrix(Distribution::kUniform, scale, args);
   emit(throughput_table(matrix), args);
   write_json_summary(args, "fig6_uniform_throughput", matrix);
 

@@ -16,7 +16,7 @@ int main(int argc, char** argv) {
   print_header("Fig. 7 — normalized throughput, synthetic, zipf(0.8)", scale);
 
   const auto matrix =
-      run_synthetic_matrix(Distribution::kZipf, scale, args.seed, args.jobs);
+      run_synthetic_matrix(Distribution::kZipf, scale, args);
   emit(throughput_table(matrix), args);
   write_json_summary(args, "fig7_zipf_throughput", matrix);
 

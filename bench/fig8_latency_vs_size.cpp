@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
     for (std::uint32_t size : sizes) {
       SizeSweepWorkload workload(file_size, size, args.seed);
       const RunResult r =
-          run_experiment(default_machine(kind), workload, scale.run());
+          run_experiment(default_machine_for(args, kind), workload, scale.run());
       row.push_back(Table::fmt(r.mean_latency_us, 2));
       std::fprintf(stderr, "  %-18s %4uB: %.2f us\n", short_name(kind), size,
                    r.mean_latency_us);

@@ -41,7 +41,7 @@ int main(int argc, char** argv) {
     for (PathKind kind : kAllPaths) {
       auto workload = make_workload(app);
       results[app][kind] =
-          run_experiment(realapp_machine(kind), *workload, scale.run());
+          run_experiment(realapp_machine_for(args, kind), *workload, scale.run());
       std::fprintf(stderr, "  %-20s %-18s done (%.2f us mean)\n",
                    app_names[app], short_name(kind),
                    results[app][kind].mean_latency_us);

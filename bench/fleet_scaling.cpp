@@ -1,6 +1,6 @@
 // Fleet scaling: the synthetic mixed workload (Table 1 'C') served by a
 // fleet of 1..N sharded machines, for all five systems under both offset
-// distributions.
+// distributions — plus a cores × shards sweep of host-side throughput.
 //
 // What to look for:
 //  * Fleet throughput grows near-linearly with shard count under the hash
@@ -10,14 +10,21 @@
 //    of skew: the hottest shard serves disproportionate traffic, and with
 //    --partition range the spatially clustered zipf head lands on one
 //    shard, dragging the whole fleet's tail with it.
+//  * The cores sweep measures *host* scaling: shard→worker pinning hands
+//    each worker a fixed ascending slice of shards and one reusable
+//    RunArena, so host events/sec should grow with cores until
+//    cores == shards. Every combo is asserted bit-identical to its jobs-1
+//    run — parallelism and pinning are never allowed to change results.
 //
-// Extra flags on top of the common set: --shards N (default: sweep 1,2,4,8)
-// and --partition hash|range. --json writes a BENCH_fleet.json-style
-// summary (per-cell host_seconds and events_executed) for perf tracking.
+// Extra flags on top of the common set: --shards N (default: sweep 1,2,4,8),
+// --partition hash|range, and --no-cores-sweep to skip the cores × shards
+// section. --json writes the BENCH_fleet.json summary (per-cell host_seconds
+// and events_executed, plus the cores_sweep section) for perf tracking.
 #include <cstring>
 #include <vector>
 
 #include "bench_common.h"
+#include "common/thread_pool.h"
 #include "fleet/fleet.h"
 
 using namespace pipette;
@@ -32,12 +39,26 @@ struct FleetCell {
   FleetResult result;
 };
 
+struct CoresCell {
+  unsigned cores;
+  std::size_t shards;
+  FleetResult result;
+  bool matches_jobs1 = false;
+};
+
 const char* dist_name(Distribution d) {
   return d == Distribution::kUniform ? "uniform" : "zipf";
 }
 
+double host_events_per_sec(const FleetResult& r) {
+  return r.host_seconds > 0.0
+             ? static_cast<double>(r.events_executed) / r.host_seconds
+             : 0.0;
+}
+
 void write_fleet_json(const BenchArgs& args, PartitionScheme partition,
-                      const std::vector<FleetCell>& cells) {
+                      const std::vector<FleetCell>& cells,
+                      const std::vector<CoresCell>& cores_cells) {
   if (args.json_path.empty()) return;
   double total_seconds = 0.0;
   std::uint64_t total_events = 0;
@@ -49,6 +70,7 @@ void write_fleet_json(const BenchArgs& args, PartitionScheme partition,
   w.begin_object();
   w.kv("bench", "fleet_scaling");
   w.kv("jobs", args.jobs);
+  w.kv("queue", to_string(queue_kind_of(args)));
   w.kv("partition", to_string(partition));
   w.kv("total_host_seconds", total_seconds, 6);
   w.kv("total_events_executed", total_events);
@@ -72,6 +94,23 @@ void write_fleet_json(const BenchArgs& args, PartitionScheme partition,
     w.end_object();
   }
   w.end_array();
+  // Host-throughput scaling with worker threads (shard→worker pinning on;
+  // every combo verified bit-identical to its jobs-1 run before landing
+  // here).
+  w.key("cores_sweep");
+  w.begin_array();
+  for (const CoresCell& c : cores_cells) {
+    w.begin_object();
+    w.kv("cores", c.cores);
+    w.kv("shards", c.shards);
+    w.kv("host_seconds", c.result.host_seconds, 6);
+    w.kv("events_executed", c.result.events_executed);
+    w.kv("host_events_per_sec", host_events_per_sec(c.result), 0);
+    w.kv("fleet_rps", c.result.requests_per_sec(), 0);
+    w.kv("matches_jobs1", c.matches_jobs1);
+    w.end_object();
+  }
+  w.end_array();
   w.end_object();
   w.write_file(args.json_path);
 }
@@ -79,24 +118,31 @@ void write_fleet_json(const BenchArgs& args, PartitionScheme partition,
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Peel off the fleet-specific flags, hand the rest to the common parser.
   std::size_t shards_flag = 0;  // 0 = sweep
   PartitionScheme partition = PartitionScheme::kHash;
-  std::vector<char*> rest{argv[0]};
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
-      shards_flag = std::strtoull(argv[++i], nullptr, 10);
-    } else if (std::strcmp(argv[i], "--partition") == 0 && i + 1 < argc) {
-      ++i;
-      partition = std::strcmp(argv[i], "range") == 0
-                      ? PartitionScheme::kRange
-                      : PartitionScheme::kHash;
-    } else {
-      rest.push_back(argv[i]);
-    }
-  }
-  const BenchArgs args =
-      BenchArgs::parse(static_cast<int>(rest.size()), rest.data());
+  bool cores_sweep = true;
+  const BenchArgs args = BenchArgs::parse(
+      argc, argv,
+      [&](const char* flag, const BenchArgs::ValueFn& value) {
+        if (std::strcmp(flag, "--shards") == 0) {
+          shards_flag = std::strtoull(value(), nullptr, 10);
+          return true;
+        }
+        if (std::strcmp(flag, "--partition") == 0) {
+          partition = std::strcmp(value(), "range") == 0
+                          ? PartitionScheme::kRange
+                          : PartitionScheme::kHash;
+          return true;
+        }
+        if (std::strcmp(flag, "--no-cores-sweep") == 0) {
+          cores_sweep = false;
+          return true;
+        }
+        return false;
+      },
+      "  --shards N        fixed shard count (default: sweep 1,2,4,8)\n"
+      "  --partition P     hash | range\n"
+      "  --no-cores-sweep  skip the cores x shards host-scaling sweep\n");
   const Scale scale = Scale::from_args(args);
   print_header("Fleet scaling — Table 1 'C', sharded fleet", scale);
   std::printf("(partitioner: %s; requests are fleet-wide totals)\n\n",
@@ -106,22 +152,25 @@ int main(int argc, char** argv) {
       shards_flag != 0 ? std::vector<std::size_t>{shards_flag}
                        : std::vector<std::size_t>{1, 2, 4, 8};
 
+  auto make_runner = [&](Distribution dist, std::size_t shards, PathKind kind) {
+    FleetConfig fleet;
+    fleet.shards = shards;
+    fleet.partition = partition;
+    fleet.machine = default_machine_for(args, kind);
+    return FleetRunner(
+        fleet,
+        [dist](std::uint64_t s) -> std::unique_ptr<Workload> {
+          return std::make_unique<SyntheticWorkload>(
+              table1_workload('C', dist, s));
+        },
+        args.seed);
+  };
+
   std::vector<FleetCell> cells;
   for (Distribution dist : {Distribution::kUniform, Distribution::kZipf}) {
     for (std::size_t shards : shard_counts) {
       for (PathKind kind : kAllPaths) {
-        FleetConfig fleet;
-        fleet.shards = shards;
-        fleet.partition = partition;
-        fleet.machine = default_machine(kind);
-        const std::uint64_t seed = args.seed;
-        FleetRunner runner(
-            fleet,
-            [dist](std::uint64_t s) -> std::unique_ptr<Workload> {
-              return std::make_unique<SyntheticWorkload>(
-                  table1_workload('C', dist, s));
-            },
-            seed);
+        FleetRunner runner = make_runner(dist, shards, kind);
         cells.push_back(
             {dist, shards, kind, runner.run(scale.run(), args.jobs)});
         const FleetResult& r = cells.back().result;
@@ -168,6 +217,52 @@ int main(int argc, char** argv) {
       rps.write_csv(args.csv_path);
   }
 
-  write_fleet_json(args, partition, cells);
+  // Cores × shards: host scaling of one system (Pipette, uniform — the
+  // hottest host path) as worker threads grow, shards fixed per column.
+  // Each combo is re-run at jobs=1 first and must be bit-identical.
+  std::vector<CoresCell> cores_cells;
+  if (cores_sweep) {
+    // Worker counts are thread counts, not physical cores: sweeping past
+    // hardware concurrency still validates pinning + determinism and shows
+    // the (flat or negative) oversubscription regime on small hosts.
+    const std::vector<unsigned> core_counts{1, 2, 4, 8};
+    const unsigned hw = ThreadPool::default_threads();
+    std::printf("(hardware concurrency: %u)\n", hw);
+    std::printf("-- cores x shards: host Mevents/s (Pipette, uniform; "
+                "pinned workers) --\n");
+    std::vector<std::string> headers{"Cores"};
+    for (std::size_t shards : shard_counts)
+      headers.push_back("x" + std::to_string(shards));
+    Table t(headers);
+    bool all_match = true;
+    for (unsigned cores : core_counts) {
+      std::vector<std::string> row{std::to_string(cores)};
+      for (std::size_t shards : shard_counts) {
+        FleetRunner runner =
+            make_runner(Distribution::kUniform, shards, PathKind::kPipette);
+        const FleetResult baseline = runner.run(scale.run(), /*jobs=*/1);
+        const FleetResult r = cores == 1 ? baseline
+                                         : runner.run(scale.run(), cores);
+        CoresCell cell{cores, shards, r, deterministic_equal(baseline, r)};
+        all_match = all_match && cell.matches_jobs1;
+        std::fprintf(stderr,
+                     "  [cores] %u core(s) x%zu shards: %.2f Mev/s host%s\n",
+                     cores, shards, host_events_per_sec(r) / 1e6,
+                     cell.matches_jobs1 ? "" : "  ** MISMATCH vs jobs=1 **");
+        row.push_back(Table::fmt(host_events_per_sec(r) / 1e6, 2));
+        cores_cells.push_back(std::move(cell));
+      }
+      t.add_row(std::move(row));
+    }
+    std::fputs(t.to_text().c_str(), stdout);
+    std::printf("\n");
+    if (!all_match) {
+      std::fprintf(stderr,
+                   "pipette: cores sweep diverged from jobs-1 results\n");
+      return 1;
+    }
+  }
+
+  write_fleet_json(args, partition, cells, cores_cells);
   return 0;
 }

@@ -132,28 +132,30 @@ void write_breakdown_json(const BenchArgs& args,
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Peel off the bench-specific flags, hand the rest to the common parser.
   std::string trace_path;
   bool selfcheck = false;
-  std::vector<char*> rest{argv[0]};
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
-      trace_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--selfcheck") == 0) {
-      selfcheck = true;
-    } else {
-      rest.push_back(argv[i]);
-    }
-  }
-  const BenchArgs args =
-      BenchArgs::parse(static_cast<int>(rest.size()), rest.data());
+  const BenchArgs args = BenchArgs::parse(
+      argc, argv,
+      [&](const char* flag, const BenchArgs::ValueFn& value) {
+        if (std::strcmp(flag, "--trace") == 0) {
+          trace_path = value();
+          return true;
+        }
+        if (std::strcmp(flag, "--selfcheck") == 0) {
+          selfcheck = true;
+          return true;
+        }
+        return false;
+      },
+      "  --trace PATH write a Chrome trace of the Pipette cell\n"
+      "  --selfcheck  assert traced == untraced determinism\n");
   const Scale scale = Scale::from_args(args);
   print_header("Latency breakdown — Table 1 'C', per-stage decomposition",
                scale);
 
   std::vector<ExperimentCell> cells;
   for (PathKind kind : kAllPaths) {
-    MachineConfig config = default_machine(kind);
+    MachineConfig config = default_machine_for(args, kind);
     config.trace.enabled = true;
     RunConfig run = scale.run();
     run.timeline.interval = kTimelineInterval;

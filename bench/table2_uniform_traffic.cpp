@@ -16,7 +16,7 @@ int main(int argc, char** argv) {
   print_header("Table 2 — I/O traffic (MiB), synthetic, uniform", scale);
 
   const auto matrix =
-      run_synthetic_matrix(Distribution::kUniform, scale, args.seed, args.jobs);
+      run_synthetic_matrix(Distribution::kUniform, scale, args);
   emit(traffic_table(matrix), args);
   write_json_summary(args, "table2_uniform_traffic", matrix);
 

@@ -15,7 +15,7 @@ int main(int argc, char** argv) {
   print_header("Table 3 — I/O traffic (MiB), synthetic, zipf(0.8)", scale);
 
   const auto matrix =
-      run_synthetic_matrix(Distribution::kZipf, scale, args.seed, args.jobs);
+      run_synthetic_matrix(Distribution::kZipf, scale, args);
   emit(traffic_table(matrix), args);
   write_json_summary(args, "table3_zipf_traffic", matrix);
 

@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
         workload = std::make_unique<LinkBenchWorkload>(lc);
       }
       const RunResult r =
-          run_experiment(realapp_machine(kind), *workload, scale.run());
+          run_experiment(realapp_machine_for(args, kind), *workload, scale.run());
       const bool pipette = kind == PathKind::kPipette;
       const double hit =
           pipette ? r.fgrc_hit_ratio : r.page_cache_hit_ratio;

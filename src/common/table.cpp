@@ -98,6 +98,11 @@ bool Table::write_csv(const std::string& path) const {
 }
 
 BenchArgs BenchArgs::parse(int argc, char** argv) {
+  return parse(argc, argv, nullptr, nullptr);
+}
+
+BenchArgs BenchArgs::parse(int argc, char** argv, const ExtraFlagFn& extra,
+                           const char* extra_help) {
   BenchArgs args;
   for (int i = 1; i < argc; ++i) {
     auto need_value = [&](const char* flag) -> const char* {
@@ -118,19 +123,35 @@ BenchArgs BenchArgs::parse(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--jobs") == 0) {
       args.jobs = static_cast<unsigned>(
           std::strtoul(need_value("--jobs"), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--queue") == 0) {
+      args.queue = need_value("--queue");
+      if (args.queue != "heap" && args.queue != "wheel" &&
+          args.queue != "both") {
+        std::fprintf(stderr,
+                     "pipette: --queue must be heap, wheel or both (got %s)\n",
+                     args.queue.c_str());
+        std::exit(2);
+      }
     } else if (std::strcmp(argv[i], "--quick") == 0) {
       args.quick = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::printf(
           "usage: %s [--requests N] [--seed S] [--quick] [--jobs N] "
-          "[--csv PATH] [--json PATH]\n"
+          "[--queue heap|wheel|both] [--csv PATH] [--json PATH]\n"
           "  --jobs N     run independent experiment cells on N threads\n"
           "               (0 = hardware concurrency, 1 = serial; results\n"
           "               are bit-identical at any job count)\n"
+          "  --queue Q    event-queue backend (drain order is identical;\n"
+          "               this is a host-speed knob; 'both' only where a\n"
+          "               bench compares backends)\n"
           "  --json PATH  write a machine-readable summary (host_seconds,\n"
           "               events_executed per cell) for perf tracking\n",
           argv[0]);
+      if (extra_help != nullptr) std::fputs(extra_help, stdout);
       std::exit(0);
+    } else if (extra != nullptr &&
+               extra(argv[i], [&] { return need_value(argv[i]); })) {
+      // bench-specific flag, consumed by the caller's handler
     } else {
       std::fprintf(stderr, "pipette: unknown flag %s (see --help)\n", argv[i]);
       std::exit(2);

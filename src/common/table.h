@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -40,7 +41,7 @@ class Table {
 };
 
 /// Parses the common bench CLI: --csv <path>, --json <path>, --requests N,
-/// --quick, --seed S, --jobs N.
+/// --quick, --seed S, --jobs N, --queue heap|wheel|both.
 struct BenchArgs {
   std::string csv_path;         // empty = no CSV
   std::string json_path;        // empty = no JSON summary
@@ -49,8 +50,22 @@ struct BenchArgs {
   bool quick = false;           // reduced request count for smoke runs
   unsigned jobs = 0;            // experiment cells run in parallel;
                                 // 0 = hardware concurrency, 1 = serial
+  std::string queue;            // event-queue backend: "heap", "wheel",
+                                // "both" (comparative benches only), or
+                                // "" = the bench's default
+
+  /// Called for any flag the common parser does not recognise. Invoke
+  /// `value()` to consume the flag's argument; return true if the flag was
+  /// handled (false falls through to the unknown-flag error). This is the
+  /// one extension point for bench-specific flags — benches must not
+  /// hand-peel argv around the common parser.
+  using ValueFn = std::function<const char*()>;
+  using ExtraFlagFn = std::function<bool(const char* flag, const ValueFn&)>;
 
   static BenchArgs parse(int argc, char** argv);
+  /// `extra_help` lines (if any) are appended to the --help output.
+  static BenchArgs parse(int argc, char** argv, const ExtraFlagFn& extra,
+                         const char* extra_help = nullptr);
 };
 
 }  // namespace pipette

@@ -8,11 +8,17 @@
 //
 // Hot-path design (see DESIGN.md "DES internals"): callbacks are
 // InlineFunction<void()> — move-only with a 48-byte small-buffer so typical
-// captures never heap-allocate — and the timer queue is a 4-ary heap over
-// pooled event nodes whose pop moves the callback out instead of copying it.
+// captures never heap-allocate — and the timer queue is a pluggable backend
+// (4-ary pooled heap or hierarchical timing wheel, see event_queue.h)
+// drained one same-timestamp *run* at a time: each run is extracted into a
+// reusable buffer with a single queue restructure, then executed without
+// touching the queue until the buffer empties. Extraction order — and
+// therefore every run — is identical whichever backend is selected.
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <vector>
 
 #include "common/inline_function.h"
 #include "common/units.h"
@@ -24,7 +30,11 @@ class Tracer;  // obs/trace.h — the DES core only carries the pointer
 
 class Simulator {
  public:
-  using Callback = EventQueue::Callback;
+  using Callback = EventQueueInterface::Callback;
+
+  explicit Simulator(QueueKind queue = QueueKind::kHeap);
+
+  QueueKind queue_kind() const { return queue_kind_; }
 
   /// Observability hook: an installed tracer receives per-stage span
   /// timestamps from instrumented components. The tracer is passive (it
@@ -58,14 +68,22 @@ class Simulator {
   /// Run events until `done` returns true (checked after each event).
   /// Returns false if the queue drained first. Templated so call sites pay
   /// neither a std::function construction nor an indirect predicate call.
+  /// A run interrupted mid-buffer stays buffered; the next run_* call (or a
+  /// nested one from inside a callback) resumes it, preserving exact
+  /// (when, seq) execution order.
   template <typename Pred>
   bool run_until_condition(Pred&& done) {
     if (done()) return true;
-    while (!queue_.empty()) {
-      pop_and_run();
-      if (done()) return true;
+    for (;;) {
+      if (!buffer_active()) {
+        if (queue_->empty()) return false;
+        refill_run();
+      }
+      while (buffer_active()) {
+        run_one();
+        if (done()) return true;
+      }
     }
-    return false;
   }
 
   /// Deadline-bounded variant of run_until_condition: only events due at or
@@ -77,24 +95,66 @@ class Simulator {
   template <typename Pred>
   bool run_until_condition_before(Pred&& done, SimTime deadline) {
     if (done()) return true;
-    while (!queue_.empty() && queue_.min_when() <= deadline) {
-      pop_and_run();
-      if (done()) return true;
+    for (;;) {
+      if (!buffer_active()) {
+        if (queue_->empty() || queue_->min_when() > deadline) return false;
+        refill_run();
+      }
+      while (buffer_active() && run_when_ <= deadline) {
+        run_one();
+        if (done()) return true;
+      }
+      if (buffer_active()) return false;  // remainder is beyond the deadline
     }
-    return false;
   }
 
-  std::size_t pending_events() const { return queue_.size(); }
+  std::size_t pending_events() const {
+    return queue_->size() + buffered_remaining();
+  }
   std::uint64_t events_executed() const { return executed_; }
 
+  /// High-water mark of pending events (backend-invariant; exported as the
+  /// `des.slab_peak` metric — the callback slabs grow exactly with it).
+  std::size_t queue_peak_size() const { return queue_->peak_size(); }
+
+  /// Wheel-backend spills to the overflow heap; 0 on the heap backend.
+  std::uint64_t queue_overflow_pushes() const {
+    return queue_->overflow_pushes();
+  }
+
+  /// Hand back slab capacity above current occupancy (between experiment
+  /// cells); never touches pending events or drain order.
+  void trim_queue() { queue_->trim(); }
+
  private:
-  void pop_and_run();
+  bool buffer_active() const { return run_next_ < run_buf_.size(); }
+  std::size_t buffered_remaining() const {
+    return run_buf_.size() - run_next_;
+  }
+  /// Extract the next same-timestamp run into the buffer and advance the
+  /// clock to it. Requires an exhausted buffer and a non-empty queue.
+  void refill_run();
+  /// Execute the next buffered callback. The slot is released before the
+  /// call, so the callback may schedule, drain, or even refill freely.
+  void run_one() {
+    Callback cb = std::move(run_buf_[run_next_]);
+    ++run_next_;
+    ++executed_;
+    cb();
+  }
 
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
-  EventQueue queue_;
+  QueueKind queue_kind_;
+  std::unique_ptr<EventQueueInterface> queue_;
   Tracer* tracer_ = nullptr;
+
+  // Current same-timestamp run, drained front to back. Capacity is reused
+  // across runs, so steady-state batch drains allocate nothing.
+  std::vector<Callback> run_buf_;
+  std::size_t run_next_ = 0;
+  SimTime run_when_ = 0;
 };
 
 }  // namespace pipette

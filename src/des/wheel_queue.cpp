@@ -1,0 +1,230 @@
+#include "des/wheel_queue.h"
+
+#include <algorithm>
+#include <bit>
+#include <utility>
+
+#include "common/assert.h"
+
+namespace pipette {
+
+WheelQueue::WheelQueue() {
+  l0_heads_.fill(kNil);
+  l1_heads_.fill(kNil);
+}
+
+std::uint32_t WheelQueue::alloc_node(SimTime when, std::uint64_t seq,
+                                     Callback cb) {
+  if (!free_.empty()) {
+    const std::uint32_t handle = free_.back();
+    free_.pop_back();
+    Node& n = nodes_[handle];
+    n.when = when;
+    n.seq = seq;
+    n.next = kNil;
+    n.cb = std::move(cb);
+    return handle;
+  }
+  const std::uint32_t handle = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.push_back(Node{when, seq, kNil, std::move(cb)});
+  return handle;
+}
+
+void WheelQueue::free_node(std::uint32_t handle) { free_.push_back(handle); }
+
+void WheelQueue::place(std::uint32_t handle) {
+  Node& n = nodes_[handle];
+  const std::uint64_t b0 = block0_of(n.when);
+  if (b0 == cur_block0_) {
+    const std::size_t slot = static_cast<std::size_t>(n.when) & kSlotMask;
+    n.next = l0_heads_[slot];
+    l0_heads_[slot] = handle;
+    l0_bits_[slot / 64] |= std::uint64_t{1} << (slot % 64);
+    return;
+  }
+  PIPETTE_ASSERT_MSG(b0 > cur_block0_ && block1_of(n.when) == cur_block1_,
+                     "event placed behind the wheel cursor");
+  const std::size_t slot = static_cast<std::size_t>(b0) & kSlotMask;
+  n.next = l1_heads_[slot];
+  l1_heads_[slot] = handle;
+  l1_bits_[slot / 64] |= std::uint64_t{1} << (slot % 64);
+}
+
+void WheelQueue::push(SimTime when, std::uint64_t seq, Callback cb) {
+  if (block1_of(when) > cur_block1_) {
+    // Beyond the ~16.8 ms level-1 horizon: spill to the overflow heap. The
+    // due prefix migrates back into the wheel when the clock reaches its
+    // level-1 window (settle_to).
+    ++overflow_pushes_;
+    overflow_.push(when, seq, std::move(cb));
+  } else {
+    place(alloc_node(when, seq, std::move(cb)));
+    ++size_;
+  }
+  if (min_valid_ && when < cached_min_) cached_min_ = when;
+  const std::size_t total = size_ + overflow_.size();
+  if (total > peak_size_) peak_size_ = total;
+}
+
+SimTime WheelQueue::scan_min() const {
+  // Aligned windows make slot order equal time order, so the earliest event
+  // is behind the first set bit — level 0 first, then level 1, then the
+  // overflow heap (each level strictly precedes the next in time).
+  for (std::size_t w = 0; w < kWords; ++w) {
+    if (l0_bits_[w] != 0) {
+      const std::size_t slot = w * 64 + static_cast<std::size_t>(
+                                            std::countr_zero(l0_bits_[w]));
+      return (cur_block0_ << kLevelBits) | static_cast<SimTime>(slot);
+    }
+  }
+  for (std::size_t w = 0; w < kWords; ++w) {
+    if (l1_bits_[w] != 0) {
+      const std::size_t slot = w * 64 + static_cast<std::size_t>(
+                                            std::countr_zero(l1_bits_[w]));
+      // A level-1 bucket holds one 4096 ns block's worth of timestamps;
+      // walk its list for the earliest.
+      SimTime best = 0;
+      bool have = false;
+      for (std::uint32_t h = l1_heads_[slot]; h != kNil; h = nodes_[h].next) {
+        if (!have || nodes_[h].when < best) {
+          best = nodes_[h].when;
+          have = true;
+        }
+      }
+      PIPETTE_ASSERT_MSG(have, "level-1 bit set over an empty bucket");
+      return best;
+    }
+  }
+  return overflow_.min_when();
+}
+
+SimTime WheelQueue::min_when() const {
+  if (!min_valid_) {
+    cached_min_ = scan_min();
+    min_valid_ = true;
+  }
+  return cached_min_;
+}
+
+void WheelQueue::settle_to(SimTime m) {
+  const std::uint64_t b0 = block0_of(m);
+  const std::uint64_t b1 = block1_of(m);
+  if (b1 > cur_block1_) {
+    // m is the global minimum, so every block between the cursors and m is
+    // empty and the whole wheel is drained; jump straight to m's window and
+    // pull the newly due prefix out of the overflow heap.
+    cur_block1_ = b1;
+    cur_block0_ = b0;
+    while (!overflow_.empty() &&
+           block1_of(overflow_.min_when()) == cur_block1_) {
+      SimTime when;
+      std::uint64_t seq;
+      Callback cb;
+      overflow_.pop_min(when, seq, cb);
+      place(alloc_node(when, seq, std::move(cb)));
+      ++size_;
+    }
+  } else if (b0 > cur_block0_) {
+    // Dump m's level-1 bucket into level 0. Buckets for the skipped blocks
+    // are empty (m is the minimum), so only this one needs the move.
+    cur_block0_ = b0;
+    const std::size_t slot = static_cast<std::size_t>(b0) & kSlotMask;
+    std::uint32_t h = l1_heads_[slot];
+    l1_heads_[slot] = kNil;
+    l1_bits_[slot / 64] &= ~(std::uint64_t{1} << (slot % 64));
+    while (h != kNil) {
+      const std::uint32_t next = nodes_[h].next;
+      const std::size_t s0 = static_cast<std::size_t>(nodes_[h].when) &
+                             kSlotMask;
+      nodes_[h].next = l0_heads_[s0];
+      l0_heads_[s0] = h;
+      l0_bits_[s0 / 64] |= std::uint64_t{1} << (s0 % 64);
+      h = next;
+    }
+  }
+}
+
+std::size_t WheelQueue::pop_run(SimTime& when, std::vector<Callback>& out) {
+  const SimTime m = min_when();
+  settle_to(m);
+  const std::size_t slot = static_cast<std::size_t>(m) & kSlotMask;
+
+  // The slot's list is exactly the same-timestamp run (one timestamp per
+  // level-0 slot), linked in reverse push order; sort handles by seq so the
+  // run drains in submission order.
+  run_scratch_.clear();
+  for (std::uint32_t h = l0_heads_[slot]; h != kNil; h = nodes_[h].next)
+    run_scratch_.emplace_back(nodes_[h].seq, h);
+  PIPETTE_ASSERT_MSG(!run_scratch_.empty(), "pop_run on an empty wheel");
+  std::sort(run_scratch_.begin(), run_scratch_.end());
+
+  l0_heads_[slot] = kNil;
+  l0_bits_[slot / 64] &= ~(std::uint64_t{1} << (slot % 64));
+  for (const auto& [seq, h] : run_scratch_) {
+    out.push_back(std::move(nodes_[h].cb));
+    free_node(h);
+  }
+  size_ -= run_scratch_.size();
+  min_valid_ = false;
+  when = m;
+  return run_scratch_.size();
+}
+
+void WheelQueue::pop_min(SimTime& when, std::uint64_t& seq, Callback& cb) {
+  const SimTime m = min_when();
+  settle_to(m);
+  const std::size_t slot = static_cast<std::size_t>(m) & kSlotMask;
+
+  // Unlink the minimum-seq node from the slot's (unsorted) list.
+  std::uint32_t best = kNil, best_prev = kNil;
+  std::uint32_t prev = kNil;
+  for (std::uint32_t h = l0_heads_[slot]; h != kNil; h = nodes_[h].next) {
+    if (best == kNil || nodes_[h].seq < nodes_[best].seq) {
+      best = h;
+      best_prev = prev;
+    }
+    prev = h;
+  }
+  PIPETTE_ASSERT_MSG(best != kNil, "pop_min on an empty wheel");
+  if (best_prev == kNil) {
+    l0_heads_[slot] = nodes_[best].next;
+  } else {
+    nodes_[best_prev].next = nodes_[best].next;
+  }
+  when = m;
+  seq = nodes_[best].seq;
+  cb = std::move(nodes_[best].cb);
+  free_node(best);
+  --size_;
+  if (l0_heads_[slot] == kNil) {
+    l0_bits_[slot / 64] &= ~(std::uint64_t{1} << (slot % 64));
+    min_valid_ = false;
+  } else {
+    // Same-timestamp siblings remain: the minimum is unchanged.
+    cached_min_ = m;
+    min_valid_ = true;
+  }
+}
+
+void WheelQueue::trim() {
+  if (empty()) {
+    nodes_.clear();
+    nodes_.shrink_to_fit();
+    free_.clear();
+    free_.shrink_to_fit();
+  } else {
+    std::sort(free_.begin(), free_.end());
+    while (!free_.empty() &&
+           free_.back() == static_cast<std::uint32_t>(nodes_.size()) - 1) {
+      free_.pop_back();
+      nodes_.pop_back();
+    }
+    nodes_.shrink_to_fit();
+    free_.shrink_to_fit();
+  }
+  run_scratch_.clear();
+  run_scratch_.shrink_to_fit();
+  overflow_.trim();
+}
+
+}  // namespace pipette

@@ -1,0 +1,122 @@
+// Hierarchical timing-wheel event queue.
+//
+// SSD latencies cluster at a handful of fixed deltas (NAND read ~tens of
+// microseconds, PCIe/DMA hops ~hundreds of nanoseconds, HMB round trips in
+// between), so almost every event lands within a few milliseconds of the
+// clock. A calendar queue exploits that: push classifies the event into a
+// slot with shift-and-mask arithmetic, and extraction scans a bitmap instead
+// of re-sifting a heap — O(1) per operation where the heap pays O(log n).
+//
+// Layout (all granularities in simulated nanoseconds, SimTime units):
+//
+//   level 0: 4096 one-nanosecond slots covering the current 4.1 us window
+//            [cur_block0 * 4096, (cur_block0 + 1) * 4096). Each slot holds
+//            at most one distinct timestamp, so a slot's list IS a
+//            same-timestamp run (linked in push order = seq order is NOT
+//            guaranteed; runs are sorted by seq on extraction).
+//   level 1: 4096 slots of 4096 ns covering the current ~16.8 ms window
+//            [cur_block1 * 2^24, (cur_block1 + 1) * 2^24). A slot holds all
+//            events of one level-0 block and is dumped into level 0 when the
+//            clock reaches that block.
+//   overflow: events beyond the level-1 horizon spill into an embedded
+//            EventQueue heap (counted by overflow_pushes()); whenever the
+//            wheel advances into a fresh level-1 window it drains the heap's
+//            due prefix back into the wheel. Rare by construction: only
+//            multi-window timers (fault injection, end-of-run guards) land
+//            here.
+//
+// Windows are aligned (cur_block0 * 4096 is a multiple of the window span),
+// so ascending slot index == ascending time within a window and the min scan
+// is a find-first-set over the occupancy bitmap. The wheel only ever
+// advances inside pop_min/pop_run — and then only up to the block of the
+// global minimum event, which the simulator is about to make "now" — so a
+// later push can never need a slot behind the cursor (Simulator guarantees
+// when >= now).
+//
+// Drain order is bit-identical to EventQueue's: (when, seq) ascending.
+// queue_test pins that with a differential fuzz over adversarial streams.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "des/event_queue.h"
+
+namespace pipette {
+
+class WheelQueue final : public EventQueueInterface {
+ public:
+  WheelQueue();
+
+  bool empty() const override { return size_ == 0 && overflow_.empty(); }
+  std::size_t size() const override { return size_ + overflow_.size(); }
+
+  SimTime min_when() const override;
+
+  void push(SimTime when, std::uint64_t seq, Callback cb) override;
+  void pop_min(SimTime& when, std::uint64_t& seq, Callback& cb) override;
+  std::size_t pop_run(SimTime& when, std::vector<Callback>& out) override;
+
+  void trim() override;
+  std::size_t peak_size() const override { return peak_size_; }
+  std::uint64_t overflow_pushes() const override { return overflow_pushes_; }
+
+ private:
+  static constexpr std::size_t kLevelBits = 12;
+  static constexpr std::size_t kSlots = std::size_t{1} << kLevelBits;  // 4096
+  static constexpr std::size_t kSlotMask = kSlots - 1;
+  static constexpr std::size_t kWords = kSlots / 64;
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
+  /// Pooled list node. `next` links events within a slot (insertion order);
+  /// slots are re-sorted by seq only when a run is extracted.
+  struct Node {
+    SimTime when;
+    std::uint64_t seq;
+    std::uint32_t next;
+    Callback cb;
+  };
+
+  static std::uint64_t block0_of(SimTime when) { return when >> kLevelBits; }
+  static std::uint64_t block1_of(SimTime when) {
+    return when >> (2 * kLevelBits);
+  }
+
+  std::uint32_t alloc_node(SimTime when, std::uint64_t seq, Callback cb);
+  void free_node(std::uint32_t handle);
+  /// Link an in-horizon event into level 0 or level 1 (never the overflow).
+  void place(std::uint32_t handle);
+  /// Advance the cursors to the block of the earliest event `m`, dumping the
+  /// level-1 bucket / overflow prefix that becomes due. Every block skipped
+  /// over is provably empty because `m` is the global minimum.
+  void settle_to(SimTime m);
+  SimTime scan_min() const;
+
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> free_;
+
+  std::array<std::uint32_t, kSlots> l0_heads_;
+  std::array<std::uint32_t, kSlots> l1_heads_;
+  std::array<std::uint64_t, kWords> l0_bits_{};
+  std::array<std::uint64_t, kWords> l1_bits_{};
+
+  std::uint64_t cur_block0_ = 0;  // level-0 window = this 4096 ns block
+  std::uint64_t cur_block1_ = 0;  // level-1 window = this 2^24 ns block
+  std::size_t size_ = 0;          // wheel-resident events (excl. overflow)
+  std::size_t peak_size_ = 0;
+  std::uint64_t overflow_pushes_ = 0;
+
+  EventQueue overflow_;
+
+  // Lazily cached minimum: pushes keep it tight, structural changes
+  // invalidate it, min_when() rescans only when dirty.
+  mutable SimTime cached_min_ = 0;
+  mutable bool min_valid_ = false;
+
+  // pop scratch (seq, handle), reused so extraction never allocates in
+  // steady state.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> run_scratch_;
+};
+
+}  // namespace pipette

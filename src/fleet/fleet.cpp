@@ -46,6 +46,11 @@ RunResult Shard::run(Workload& sub_stream, const RunConfig& plan,
   return run_experiment_on(machine_, sub_stream, plan, hooks);
 }
 
+RunResult Shard::run(Workload& sub_stream, const RunConfig& plan,
+                     const RunHooks& hooks, RunArena* arena) {
+  return run_experiment_on(machine_, sub_stream, plan, hooks, arena);
+}
+
 FleetRunner::FleetRunner(FleetConfig config,
                          SeededWorkloadFactory make_workload,
                          std::uint64_t workload_seed)
@@ -116,14 +121,14 @@ FleetResult FleetRunner::run(const RunConfig& run, unsigned jobs) const {
   }
 
   std::vector<RunResult> shard_results(shards);
-  auto run_shard = [&](std::size_t s) {
+  auto run_shard = [&](std::size_t s, RunArena& arena) {
     const std::uint64_t shard_seed =
         partitioned ? seed_ : Rng::split_seed(seed_, s);
     std::unique_ptr<Workload> master = make_workload_(shard_seed);
     PIPETTE_ASSERT_MSG(master != nullptr, "fleet workload factory failed");
     if (!partitioned) {
       Shard shard(s, shard_machine(s), master->files());
-      shard_results[s] = shard.run(*master, plans[s]);
+      shard_results[s] = shard.run(*master, plans[s], RunHooks{}, &arena);
       return;
     }
     const Partitioner part(config_.partition, shards, master->files());
@@ -135,7 +140,7 @@ FleetResult FleetRunner::run(const RunConfig& run, unsigned jobs) const {
     const bool intercept = outage != nullptr && outage->active() &&
                            faults.policy != DownShardPolicy::kReroute;
     if (!intercept) {
-      shard_results[s] = shard.run(sub, plans[s]);
+      shard_results[s] = shard.run(sub, plans[s], RunHooks{}, &arena);
       return;
     }
 
@@ -174,7 +179,7 @@ FleetResult FleetRunner::run(const RunConfig& run, unsigned jobs) const {
       deferred.push_back({req, index >= run.warmup});
       return true;
     };
-    RunResult result = shard.run(sub, plans[s], hooks);
+    RunResult result = shard.run(sub, plans[s], hooks, &arena);
     // Deferrals still parked when the stream ends (recovery lies beyond the
     // run) exhausted their backoff ladder without an answer: failures.
     for (const Deferred& d : deferred) {
@@ -186,16 +191,27 @@ FleetResult FleetRunner::run(const RunConfig& run, unsigned jobs) const {
     shard_results[s] = result;
   };
 
+  // Cache-local execution: shard s is pinned to worker s % workers, and
+  // each worker runs its shards in ascending order against one RunArena, so
+  // scratch pools stay warm in that worker's cache across shards. The
+  // assignment is a pure function of (shards, workers) — never of timing —
+  // so jobs-1 and jobs-N runs stay bit-identical (asserted by fleet_test).
   if (jobs == 0) jobs = ThreadPool::default_threads();
-  if (jobs == 1 || shards <= 1) {
-    for (std::size_t s = 0; s < shards; ++s) run_shard(s);
+  const std::size_t workers = std::min<std::size_t>(jobs, shards);
+  if (workers <= 1) {
+    RunArena arena;
+    for (std::size_t s = 0; s < shards; ++s) run_shard(s, arena);
   } else {
-    ThreadPool pool(
-        static_cast<unsigned>(std::min<std::size_t>(jobs, shards)));
+    ThreadPool pool(static_cast<unsigned>(workers));
+    std::vector<RunArena> arenas(workers);
     std::vector<std::future<void>> pending;
-    pending.reserve(shards);
-    for (std::size_t s = 0; s < shards; ++s)
-      pending.push_back(pool.submit([&run_shard, s] { run_shard(s); }));
+    pending.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      pending.push_back(pool.submit([&run_shard, &arenas, w, workers, shards] {
+        for (std::size_t s = w; s < shards; s += workers)
+          run_shard(s, arenas[w]);
+      }));
+    }
     for (std::future<void>& f : pending) f.get();  // rethrows task failures
   }
 

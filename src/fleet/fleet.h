@@ -185,6 +185,10 @@ class Shard {
   RunResult run(Workload& sub_stream, const RunConfig& plan);
   RunResult run(Workload& sub_stream, const RunConfig& plan,
                 const RunHooks& hooks);
+  /// Arena variant: the pinned fleet workers pass their per-worker RunArena
+  /// so scratch capacity is reused across the shards each worker runs.
+  RunResult run(Workload& sub_stream, const RunConfig& plan,
+                const RunHooks& hooks, RunArena* arena);
 
  private:
   std::size_t index_;

@@ -18,20 +18,38 @@ RunResult run_experiment(const MachineConfig& config, Workload& workload,
 
 RunResult run_experiment_on(Machine& machine, Workload& workload,
                             const RunConfig& run) {
-  return run_experiment_on(machine, workload, run, RunHooks{});
+  return run_experiment_on(machine, workload, run, RunHooks{}, nullptr);
 }
 
 RunResult run_experiment_on(Machine& machine, Workload& workload,
                             const RunConfig& run, const RunHooks& hooks) {
+  return run_experiment_on(machine, workload, run, hooks, nullptr);
+}
+
+RunResult run_experiment_on(Machine& machine, Workload& workload,
+                            const RunConfig& run, const RunHooks& hooks,
+                            RunArena* arena) {
   const auto host_t0 = std::chrono::steady_clock::now();
   Vfs& vfs = machine.vfs();
 
-  std::vector<int> fds;
+  // All per-run scratch lives in the arena; with a caller-provided one,
+  // capacity carries over from the previous run on this thread. Machines
+  // additionally adopt the arena's LBA/FgRange pools for the duration of
+  // the run (donated empty, returned empty — never simulated state).
+  RunArena local;
+  RunArena& a = arena != nullptr ? *arena : local;
+  if (arena != nullptr) {
+    machine.adopt_scratch(std::move(a.lba_scratch), std::move(a.fg_ranges));
+  }
+
+  std::vector<int>& fds = a.fds;
+  fds.clear();
   for (const FileSpec& spec : workload.files()) {
     fds.push_back(vfs.open(spec.name, machine.open_flags(/*writable=*/true)));
   }
 
-  std::vector<std::uint8_t> buf(64 * 1024);
+  std::vector<std::uint8_t>& buf = a.io_buf;
+  buf.resize(64 * 1024);
   auto issue_direct = [&](const Request& req) {
     PIPETTE_ASSERT(req.len <= buf.size());
     PIPETTE_ASSERT(req.file_index < fds.size());
@@ -63,9 +81,16 @@ RunResult run_experiment_on(Machine& machine, Workload& workload,
   if (PageCache* pc = machine.page_cache()) pc0 = pc->stats().lookups;
   if (PipettePath* p = machine.pipette_path())
     fgrc0 = p->fgrc().stats().lookups;
-  LatencyHistogram lat0 = machine.path().stats().read_latency;
-  std::vector<LatencyHistogram> stage0;
-  if (Tracer* tracer = machine.tracer()) stage0 = tracer->stage_latency();
+  // Copy-assignment into arena-held histogram buffers reuses their bucket
+  // storage, so a pinned worker snapshots warmup state without reallocating.
+  LatencyHistogram& lat0 = a.warmup_latency;
+  lat0 = machine.path().stats().read_latency;
+  std::vector<LatencyHistogram>& stage0 = a.warmup_stages;
+  if (Tracer* tracer = machine.tracer()) {
+    stage0 = tracer->stage_latency();
+  } else {
+    stage0.clear();
+  }
 
   // Sim-time series: sampled between requests, so the sampler only reads
   // counters the simulation maintains anyway and never perturbs it.
@@ -147,6 +172,11 @@ RunResult run_experiment_on(Machine& machine, Workload& workload,
     }
     result.trace_spans = tracer->take_spans();
   }
+  if (arena != nullptr) machine.release_scratch(a.lba_scratch, a.fg_ranges);
+  // Between cells the queue is (near-)empty; hand back whatever slab
+  // capacity the run's burstiest moment grew (high-water trimming — the
+  // peak itself is already recorded as des.slab_peak above).
+  machine.sim().trim_queue();
   result.host_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - host_t0)
           .count();

@@ -158,6 +158,27 @@ RunResult run_experiment_on(Machine& machine, Workload& workload,
 RunResult run_experiment_on(Machine& machine, Workload& workload,
                             const RunConfig& run, const RunHooks& hooks);
 
+/// Reusable per-worker scratch for back-to-back runs on one thread (the
+/// fleet's pinned workers hand the same arena to every shard they run).
+/// Everything in here is capacity, not simulated state: the run clears each
+/// buffer before use and machines only ever see empty pools, so passing an
+/// arena changes allocation behaviour — one warm-up per worker instead of
+/// one per shard — and nothing else.
+struct RunArena {
+  std::vector<std::uint8_t> io_buf;             // request bounce buffer
+  std::vector<int> fds;                         // per-run fd table
+  LatencyHistogram warmup_latency;              // warmup snapshot scratch
+  std::vector<LatencyHistogram> warmup_stages;  // traced warmup snapshot
+  std::vector<LbaRange> lba_scratch;            // LBA-extractor scratch
+  std::vector<std::vector<FgRange>> fg_ranges;  // controller FgRange pool
+};
+
+/// Arena variant: identical results to the plain overloads (bit-for-bit,
+/// asserted by fleet_test), reusing `arena`'s capacity when non-null.
+RunResult run_experiment_on(Machine& machine, Workload& workload,
+                            const RunConfig& run, const RunHooks& hooks,
+                            RunArena* arena);
+
 /// One independent cell of an experiment matrix. The workload is constructed
 /// *inside* the task (each cell gets a fresh, deterministically seeded
 /// stream), which is what makes parallel and serial execution bit-identical.

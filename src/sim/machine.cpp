@@ -43,7 +43,7 @@ MachineConfig shaped(const MachineConfig& in) {
 }  // namespace
 
 Machine::Machine(const MachineConfig& config, std::span<const FileSpec> files)
-    : config_(shaped(config)) {
+    : config_(shaped(config)), sim_(config_.queue) {
   if (config_.trace.enabled) {
     tracer_ = std::make_unique<Tracer>(config_.trace);
     sim_.set_tracer(tracer_.get());
@@ -97,6 +97,21 @@ TwoBSsdPath* Machine::twob_path() {
              : nullptr;
 }
 
+void Machine::adopt_scratch(std::vector<LbaRange>&& lba,
+                            std::vector<std::vector<FgRange>>&& fg_pool) {
+  if (PipettePath* p = pipette_path()) p->adopt_lba_scratch(std::move(lba));
+  ssd_->adopt_fg_range_pool(std::move(fg_pool));
+}
+
+void Machine::release_scratch(std::vector<LbaRange>& lba,
+                              std::vector<std::vector<FgRange>>& fg_pool) {
+  if (PipettePath* p = pipette_path()) {
+    std::vector<LbaRange> got = p->release_lba_scratch();
+    if (got.capacity() > lba.capacity()) lba = std::move(got);
+  }
+  fg_pool = ssd_->release_fg_range_pool();
+}
+
 PageCache* Machine::page_cache() {
   if (BlockIoPath* b = block_path()) return &b->page_cache();
   if (PipettePath* p = pipette_path()) return &p->block_route().page_cache();
@@ -105,6 +120,9 @@ PageCache* Machine::page_cache() {
 
 void Machine::collect_metrics(MetricsRegistry& out) {
   out.set("sim.events_executed", sim_.events_executed());
+  // High-water mark of pending events == the event-queue slab footprint.
+  // Backend-invariant, so heap and wheel runs stay Deterministic()-equal.
+  out.set("des.slab_peak", sim_.queue_peak_size());
 
   const ControllerStats& cs = ssd_->stats();
   out.set("ssd.commands", cs.commands);

@@ -56,6 +56,17 @@ TEST(Fleet, JobsOneEqualsJobsFour) {
   EXPECT_TRUE(deterministic_equal(serial, parallel));
 }
 
+// Non-divisor worker count: 5 shards pinned onto 3 workers gives uneven
+// slices ({0,3}, {1,4}, {2}), each worker reusing one RunArena across its
+// slice — still bit-identical to the serial run.
+TEST(Fleet, NonDivisorWorkerCountIsDeterministic) {
+  FleetRunner runner(small_fleet(5, PathKind::kPipette),
+                     synth_factory('C', Distribution::kZipf), 42);
+  const FleetResult serial = runner.run({1500, 700}, /*jobs=*/1);
+  const FleetResult three = runner.run({1500, 700}, /*jobs=*/3);
+  EXPECT_TRUE(deterministic_equal(serial, three));
+}
+
 // A 1-shard fleet IS the single-machine experiment: every deterministic
 // RunResult field matches run_experiment on the same config and workload,
 // and the fleet aggregates collapse onto that one shard.

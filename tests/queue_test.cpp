@@ -1,0 +1,348 @@
+// Tests for the event-queue backends behind EventQueueInterface: the 4-ary
+// heap (EventQueue) and the hierarchical timing wheel (WheelQueue).
+//
+// The load-bearing property is the determinism contract: both backends
+// drain in exactly (when, seq) ascending order, so a machine configured
+// with either produces bit-identical results. The differential fuzz here is
+// the first line of defence; the golden-trace test pins the same property
+// end to end.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "des/event_queue.h"
+#include "des/simulator.h"
+#include "des/wheel_queue.h"
+#include "fleet/fleet.h"
+#include "sim/experiment.h"
+#include "workload/synthetic.h"
+
+namespace pipette {
+namespace {
+
+using Callback = EventQueueInterface::Callback;
+
+/// Past the wheel's L1 horizon (2^24 ns of L1 blocks), so a push with this
+/// delta must spill to the overflow heap.
+constexpr SimDuration kBeyondHorizon = 20'000'000;
+
+std::uint64_t lcg(std::uint64_t& s) {
+  s = s * 6364136223846793005ull + 1442695040888963407ull;
+  return s >> 33;
+}
+
+// ---------------------------------------------------------------------------
+// Differential fuzz: heap and wheel must agree on every drained event.
+
+// Replays one seeded push/pop script against both backends. Pops record
+// (when, seq) and invoke the callback, which appends its payload id — so
+// key order *and* payload routing are compared. Pushes only ever use
+// when >= the last popped timestamp (the Simulator's schedule-in-the-future
+// contract, which the wheel's cursor design relies on).
+void run_differential_script(std::uint64_t seed, bool use_pop_run) {
+  EventQueue heap;
+  WheelQueue wheel;
+  std::vector<std::uint64_t> heap_log, wheel_log;
+  std::vector<std::pair<SimTime, std::uint64_t>> heap_keys, wheel_keys;
+
+  // Deltas are duplicate-heavy (0 repeated) with occasional far-future
+  // jumps that exercise the wheel's L1 level and overflow spill/refill.
+  static constexpr SimDuration kDeltas[] = {
+      0, 0, 0, 1, 2, 480, 480, 3'200, 4'096, 65'000, 99'999,
+      kBeyondHorizon, 2 * kBeyondHorizon};
+  constexpr std::size_t kNumDeltas = sizeof kDeltas / sizeof kDeltas[0];
+
+  std::uint64_t rng = seed;
+  std::uint64_t next_seq = 0;
+  std::uint64_t next_id = 0;
+  SimTime now = 0;
+  std::vector<Callback> run_scratch;
+
+  for (int round = 0; round < 400; ++round) {
+    const std::uint64_t pushes = lcg(rng) % 8;
+    for (std::uint64_t p = 0; p < pushes; ++p) {
+      const SimTime when = now + kDeltas[lcg(rng) % kNumDeltas];
+      const std::uint64_t seq = next_seq++;
+      const std::uint64_t id = next_id++;
+      heap.push(when, seq, [&heap_log, id] { heap_log.push_back(id); });
+      wheel.push(when, seq, [&wheel_log, id] { wheel_log.push_back(id); });
+    }
+    const std::uint64_t pops = lcg(rng) % 6;
+    for (std::uint64_t q = 0; q < pops && !heap.empty(); ++q) {
+      ASSERT_FALSE(wheel.empty());
+      SimTime hw = 0, ww = 0;
+      if (use_pop_run) {
+        run_scratch.clear();
+        const std::size_t hk = heap.pop_run(hw, run_scratch);
+        for (Callback& cb : run_scratch) cb();
+        run_scratch.clear();
+        const std::size_t wk = wheel.pop_run(ww, run_scratch);
+        for (Callback& cb : run_scratch) cb();
+        ASSERT_EQ(hk, wk);
+        heap_keys.emplace_back(hw, hk);
+        wheel_keys.emplace_back(ww, wk);
+      } else {
+        std::uint64_t hs = 0, ws = 0;
+        Callback cb;
+        heap.pop_min(hw, hs, cb);
+        cb();
+        wheel.pop_min(ww, ws, cb);
+        cb();
+        ASSERT_EQ(hs, ws);
+        heap_keys.emplace_back(hw, hs);
+        wheel_keys.emplace_back(ww, ws);
+      }
+      ASSERT_EQ(hw, ww);
+      now = hw;
+    }
+    ASSERT_EQ(heap.size(), wheel.size());
+    ASSERT_EQ(heap.peak_size(), wheel.peak_size());
+  }
+  // Drain the rest one event at a time.
+  while (!heap.empty()) {
+    ASSERT_FALSE(wheel.empty());
+    ASSERT_EQ(heap.min_when(), wheel.min_when());
+    SimTime hw = 0, ww = 0;
+    std::uint64_t hs = 0, ws = 0;
+    Callback cb;
+    heap.pop_min(hw, hs, cb);
+    cb();
+    wheel.pop_min(ww, ws, cb);
+    cb();
+    EXPECT_EQ(hw, ww);
+    EXPECT_EQ(hs, ws);
+  }
+  EXPECT_TRUE(wheel.empty());
+  EXPECT_EQ(heap_log, wheel_log);
+  EXPECT_EQ(heap_keys, wheel_keys);
+}
+
+TEST(QueueDifferential, PopMinStreamsDrainIdentically) {
+  for (std::uint64_t seed : {1ull, 7ull, 42ull, 1234567ull})
+    run_differential_script(seed, /*use_pop_run=*/false);
+}
+
+TEST(QueueDifferential, PopRunStreamsDrainIdentically) {
+  for (std::uint64_t seed : {2ull, 99ull, 424242ull})
+    run_differential_script(seed, /*use_pop_run=*/true);
+}
+
+// Pushes issued from inside executing callbacks (the normal DES regime) via
+// two full Simulators: a seeded self-propagating script must execute in an
+// identical (id, now) sequence on both backends.
+TEST(QueueDifferential, CallbackPushesMatchAcrossSimulators) {
+  struct Script {
+    Simulator* sim;
+    std::vector<std::pair<std::uint64_t, SimTime>>* trace;
+    std::uint64_t rng;
+    std::uint64_t next_id = 0;
+    std::uint64_t budget = 4000;
+
+    void spawn() {
+      static constexpr SimDuration kDeltas[] = {0, 0, 1, 480, 3'200,
+                                                65'000, kBeyondHorizon};
+      const std::uint64_t id = next_id++;
+      const SimDuration d = kDeltas[lcg(rng) % 7];
+      sim->schedule(d, [this, id] {
+        trace->emplace_back(id, sim->now());
+        const std::uint64_t kids = lcg(rng) % 3;
+        for (std::uint64_t k = 0; k < kids && budget > 0; ++k) {
+          --budget;
+          spawn();
+        }
+      });
+    }
+  };
+  std::vector<std::pair<std::uint64_t, SimTime>> traces[2];
+  const QueueKind kinds[2] = {QueueKind::kHeap, QueueKind::kWheel};
+  for (int v = 0; v < 2; ++v) {
+    Simulator sim(kinds[v]);
+    Script s{&sim, &traces[v], /*rng=*/0xfeedface};
+    for (int i = 0; i < 32; ++i) s.spawn();
+    sim.run_all();
+  }
+  EXPECT_EQ(traces[0], traces[1]);
+}
+
+// ---------------------------------------------------------------------------
+// WheelQueue unit behaviour.
+
+TEST(WheelQueueTest, DrainsMixedLevelsInOrder) {
+  WheelQueue q;
+  // L0 (same 4096 ns block), L1 (later block, same 2^24 window), overflow.
+  q.push(10, 0, [] {});
+  q.push(5'000, 1, [] {});
+  q.push(kBeyondHorizon + 7, 2, [] {});
+  q.push(10, 3, [] {});
+  EXPECT_EQ(q.size(), 4u);
+  EXPECT_EQ(q.overflow_pushes(), 1u);
+  EXPECT_EQ(q.min_when(), 10u);
+
+  SimTime when = 0;
+  std::uint64_t seq = 0;
+  Callback cb;
+  q.pop_min(when, seq, cb);
+  EXPECT_EQ(when, 10u);
+  EXPECT_EQ(seq, 0u);
+  q.pop_min(when, seq, cb);
+  EXPECT_EQ(when, 10u);
+  EXPECT_EQ(seq, 3u);
+  EXPECT_EQ(q.min_when(), 5'000u);
+  q.pop_min(when, seq, cb);
+  EXPECT_EQ(when, 5'000u);
+  // The overflow event is refilled into the wheel once its window arrives.
+  EXPECT_EQ(q.min_when(), kBeyondHorizon + 7);
+  q.pop_min(when, seq, cb);
+  EXPECT_EQ(when, kBeyondHorizon + 7);
+  EXPECT_EQ(seq, 2u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(WheelQueueTest, PopRunExtractsWholeTimestampInSeqOrder) {
+  WheelQueue q;
+  std::vector<int> order;
+  // Interleave two timestamps; seq order within when=100 is 0, 2, 4.
+  q.push(100, 0, [&order] { order.push_back(0); });
+  q.push(200, 1, [&order] { order.push_back(1); });
+  q.push(100, 2, [&order] { order.push_back(2); });
+  q.push(300, 3, [&order] { order.push_back(3); });
+  q.push(100, 4, [&order] { order.push_back(4); });
+
+  SimTime when = 0;
+  std::vector<Callback> run;
+  EXPECT_EQ(q.pop_run(when, run), 3u);
+  EXPECT_EQ(when, 100u);
+  for (Callback& cb : run) cb();
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 4}));
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.min_when(), 200u);
+}
+
+TEST(WheelQueueTest, TrimKeepsPendingEventsAndPeak) {
+  WheelQueue q;
+  for (std::uint64_t i = 0; i < 64; ++i) q.push(i * 3, i, [] {});
+  SimTime when = 0;
+  std::uint64_t seq = 0;
+  Callback cb;
+  for (int i = 0; i < 60; ++i) q.pop_min(when, seq, cb);
+  q.trim();
+  EXPECT_EQ(q.size(), 4u);
+  EXPECT_EQ(q.peak_size(), 64u);
+  for (int i = 60; i < 64; ++i) {
+    q.pop_min(when, seq, cb);
+    EXPECT_EQ(seq, static_cast<std::uint64_t>(i));
+  }
+  EXPECT_TRUE(q.empty());
+  q.trim();  // empty trim releases everything and stays usable
+  q.push(1, 99, [] {});
+  EXPECT_EQ(q.min_when(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// EventQueue batch extraction: both the repeated-pop path (short runs) and
+// the compact+reheapify path (long runs) must yield ascending seq.
+
+TEST(EventQueueBatch, ShortAndLongRunsDrainInSeqOrder) {
+  EventQueue q;
+  std::vector<std::uint64_t> order;
+  std::uint64_t seq = 0;
+  // A long run at t=50 (200 events: the batch path) buried among 500
+  // later survivors, then a short run at t=60 (the repeated-pop path).
+  std::vector<std::pair<SimTime, std::uint64_t>> pushes;
+  for (int i = 0; i < 200; ++i) pushes.emplace_back(50, seq++);
+  for (int i = 0; i < 500; ++i) pushes.emplace_back(1000 + i, seq++);
+  for (int i = 0; i < 2; ++i) pushes.emplace_back(60, seq++);
+  // Shuffle deterministically so heap layout is nontrivial.
+  std::uint64_t rng = 7;
+  for (std::size_t i = pushes.size(); i > 1; --i)
+    std::swap(pushes[i - 1], pushes[lcg(rng) % i]);
+  for (const auto& [when, s] : pushes)
+    q.push(when, s, [&order, s = s] { order.push_back(s); });
+
+  SimTime when = 0;
+  std::vector<Callback> run;
+  ASSERT_EQ(q.pop_run(when, run), 200u);
+  EXPECT_EQ(when, 50u);
+  run.clear();
+  ASSERT_EQ(q.pop_run(when, run), 2u);
+  EXPECT_EQ(when, 60u);
+  run.clear();
+  // Everything left drains in strict (when, seq) order.
+  SimTime prev = 0;
+  std::uint64_t prev_seq = 0;
+  while (!q.empty()) {
+    std::uint64_t s = 0;
+    Callback cb;
+    q.pop_min(when, s, cb);
+    EXPECT_TRUE(when > prev || (when == prev && s > prev_seq));
+    prev = when;
+    prev_seq = s;
+  }
+}
+
+TEST(SimulatorBatch, ConditionStopsMidRunAndResumesInOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    sim.schedule_at(100, [&order, i] { order.push_back(i); });
+  sim.schedule_at(200, [&order] { order.push_back(99); });
+  // Stop after the 2nd event of the 5-event run: the remaining 3 stay
+  // buffered and still count as pending.
+  EXPECT_TRUE(sim.run_until_condition([&order] { return order.size() == 2; }));
+  EXPECT_EQ(sim.now(), 100u);
+  EXPECT_EQ(sim.pending_events(), 4u);
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 99}));
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end parity: a machine configured with the wheel is bit-identical
+// to the heap machine — all five systems, traced and untraced, and a
+// 4-shard fleet (which also pins des.slab_peak equality via the metrics).
+
+RunResult run_small_cell(PathKind kind, QueueKind queue, bool traced) {
+  SyntheticConfig sc = table1_workload('C', Distribution::kUniform, 42);
+  sc.file_size = 8 * kMiB;
+  SyntheticWorkload w(sc);
+  MachineConfig mc = default_machine(kind);
+  mc.queue = queue;
+  mc.trace.enabled = traced;
+  return run_experiment(mc, w, {1500, 700});
+}
+
+TEST(QueueParity, AllSystemsBitIdenticalHeapVsWheel) {
+  for (PathKind kind : kAllPaths) {
+    for (bool traced : {false, true}) {
+      const RunResult heap = run_small_cell(kind, QueueKind::kHeap, traced);
+      const RunResult wheel = run_small_cell(kind, QueueKind::kWheel, traced);
+      EXPECT_EQ(heap.Deterministic(), wheel.Deterministic())
+          << "kind=" << static_cast<int>(kind) << " traced=" << traced;
+      EXPECT_GT(wheel.events_executed, 0u);
+    }
+  }
+}
+
+TEST(QueueParity, FourShardFleetBitIdenticalHeapVsWheel) {
+  auto factory = [](std::uint64_t seed) -> std::unique_ptr<Workload> {
+    SyntheticConfig sc = table1_workload('C', Distribution::kZipf, seed);
+    sc.file_size = 8 * kMiB;
+    return std::make_unique<SyntheticWorkload>(sc);
+  };
+  FleetResult results[2];
+  const QueueKind kinds[2] = {QueueKind::kHeap, QueueKind::kWheel};
+  for (int v = 0; v < 2; ++v) {
+    FleetConfig fleet;
+    fleet.shards = 4;
+    fleet.machine = default_machine(PathKind::kPipette);
+    fleet.machine.queue = kinds[v];
+    results[v] = FleetRunner(fleet, factory, 42).run({1600, 800}, /*jobs=*/2);
+  }
+  EXPECT_TRUE(deterministic_equal(results[0], results[1]));
+}
+
+}  // namespace
+}  // namespace pipette
