@@ -43,13 +43,24 @@ inline QueueKind queue_kind_of(const BenchArgs& args) {
   return args.queue == "wheel" ? QueueKind::kWheel : QueueKind::kHeap;
 }
 
-/// default_machine / realapp_machine with the --queue backend applied —
-/// what every bench that builds configs by hand should call, so --queue
-/// works uniformly across the suite.
+/// Apply the fine-path flags (--interconnect, --prefetch) to a machine
+/// config. A no-op when neither flag was given, so default runs stay
+/// bit-identical to history.
+inline void apply_fine_path_flags(const BenchArgs& args,
+                                  MachineConfig& config) {
+  if (args.interconnect == "lmb") config.interconnect = InterconnectKind::kLmb;
+  if (args.prefetch) config.prefetch.enabled = true;  // Pipette kinds only;
+                                                      // shaped() gates it
+}
+
+/// default_machine / realapp_machine with the --queue backend and the
+/// fine-path flags applied — what every bench that builds configs by hand
+/// should call, so the common flags work uniformly across the suite.
 inline MachineConfig default_machine_for(const BenchArgs& args,
                                          PathKind kind) {
   MachineConfig config = default_machine(kind);
   config.queue = queue_kind_of(args);
+  apply_fine_path_flags(args, config);
   return config;
 }
 
@@ -57,6 +68,7 @@ inline MachineConfig realapp_machine_for(const BenchArgs& args,
                                          PathKind kind) {
   MachineConfig config = realapp_machine(kind);
   config.queue = queue_kind_of(args);
+  apply_fine_path_flags(args, config);
   return config;
 }
 
@@ -99,6 +111,7 @@ inline std::map<char, Column> run_synthetic_matrix(
     for (PathKind kind : kAllPaths) {
       MachineConfig config = make_machine(kind);
       config.queue = queue;
+      apply_fine_path_flags(args, config);
       cells.push_back({std::move(config),
                        [wl, dist, seed]() -> std::unique_ptr<Workload> {
                          return std::make_unique<SyntheticWorkload>(

@@ -29,14 +29,34 @@
 
 #include "bench_common.h"
 #include "obs/chrome_trace.h"
+#include "workload/pattern.h"
 
 using namespace pipette;
 using namespace pipette::bench;
 
 namespace {
 
-struct SystemRun {
+/// The five paper systems on Table 1 'C', plus a prefetch-enabled Pipette
+/// cell on a strided stream — the workload where the spec_fill stage (the
+/// speculative Info-ring batching work) actually shows up in the table.
+struct SystemSpec {
+  const char* label;
   PathKind kind;
+  bool prefetch;
+  bool strided;  // strided pattern workload instead of Table 1 'C'
+};
+
+constexpr SystemSpec kSystems[] = {
+    {"2B-SSD MMIO", PathKind::kTwoBMmio, false, false},
+    {"2B-SSD DMA", PathKind::kTwoBDma, false, false},
+    {"Pipette w/o cache", PathKind::kPipetteNoCache, false, false},
+    {"Pipette", PathKind::kPipette, false, false},
+    {"Block I/O", PathKind::kBlockIo, false, false},
+    {"Pipette+prefetch", PathKind::kPipette, true, true},
+};
+
+struct SystemRun {
+  const char* label;
   RunResult result;
 };
 
@@ -84,7 +104,7 @@ void write_breakdown_json(const BenchArgs& args,
   for (const SystemRun& run : runs) {
     const RunResult& r = run.result;
     w.begin_object();
-    w.kv("system", short_name(run.kind));
+    w.kv("system", run.label);
     w.kv("requests", r.requests);
     w.kv("mean_latency_us", r.mean_latency_us, 6);
     w.kv("p99_latency_us", r.p99_latency_us, 6);
@@ -154,14 +174,21 @@ int main(int argc, char** argv) {
                scale);
 
   std::vector<ExperimentCell> cells;
-  for (PathKind kind : kAllPaths) {
-    MachineConfig config = default_machine_for(args, kind);
+  for (const SystemSpec& spec : kSystems) {
+    MachineConfig config = default_machine_for(args, spec.kind);
     config.trace.enabled = true;
+    if (spec.prefetch) config.prefetch.enabled = true;
     RunConfig run = scale.run();
     run.timeline.interval = kTimelineInterval;
     const std::uint64_t seed = args.seed;
+    const bool strided = spec.strided;
     cells.push_back({config,
-                     [seed]() -> std::unique_ptr<Workload> {
+                     [seed, strided]() -> std::unique_ptr<Workload> {
+                       if (strided) {
+                         StridedConfig c;
+                         c.seed = seed;
+                         return std::make_unique<StridedWorkload>(c);
+                       }
                        return std::make_unique<SyntheticWorkload>(
                            table1_workload('C', Distribution::kUniform, seed));
                      },
@@ -170,20 +197,20 @@ int main(int argc, char** argv) {
   std::vector<RunResult> results = run_experiments_parallel(
       std::move(cells), args.jobs, [](std::size_t i, const RunResult& r) {
         std::fprintf(stderr, "  %-18s done (%s, %.1fs host)\n",
-                     short_name(kAllPaths[i]), r.read_latency.summary().c_str(),
+                     kSystems[i].label, r.read_latency.summary().c_str(),
                      r.host_seconds);
       });
 
   std::vector<SystemRun> runs;
   for (std::size_t i = 0; i < results.size(); ++i)
-    runs.push_back({kAllPaths[i], std::move(results[i])});
+    runs.push_back({kSystems[i].label, std::move(results[i])});
 
   // Decomposition table: rows = stages (in pipeline order), columns = the
   // five systems, cells = total stage time per 1k requests (us) — totals,
   // not means, so rarely-hit stages don't read as dominant.
   {
     std::vector<std::string> headers{"Stage (us/1k reqs)"};
-    for (const SystemRun& run : runs) headers.push_back(short_name(run.kind));
+    for (const SystemRun& run : runs) headers.push_back(run.label);
     Table t(headers);
     for (std::size_t s = 0; s < kStageCount; ++s) {
       bool any = false;
@@ -211,14 +238,14 @@ int main(int argc, char** argv) {
 
   std::printf("\nper-system read latency:\n");
   for (const SystemRun& run : runs)
-    std::printf("  %-18s %s\n", short_name(run.kind),
+    std::printf("  %-18s %s\n", run.label,
                 run.result.read_latency.summary().c_str());
 
   if (!args.json_path.empty()) write_breakdown_json(args, runs);
   if (!trace_path.empty()) {
     std::vector<ShardTrace> shards;
     for (SystemRun& run : runs)
-      shards.push_back({short_name(run.kind), std::move(run.result.trace_spans)});
+      shards.push_back({run.label, std::move(run.result.trace_spans)});
     if (!write_chrome_trace(trace_path, shards)) return 1;
     std::printf("chrome trace   : %s\n", trace_path.c_str());
   }
@@ -234,7 +261,7 @@ int main(int argc, char** argv) {
           spans += h.count();
         if (spans == 0) {
           std::fprintf(stderr, "pipette: selfcheck: %s recorded no spans\n",
-                       short_name(run.kind));
+                       run.label);
           ok = false;
         }
       }

@@ -132,18 +132,33 @@ BenchArgs BenchArgs::parse(int argc, char** argv, const ExtraFlagFn& extra,
                      args.queue.c_str());
         std::exit(2);
       }
+    } else if (std::strcmp(argv[i], "--interconnect") == 0) {
+      args.interconnect = need_value("--interconnect");
+      if (args.interconnect != "hmb" && args.interconnect != "lmb") {
+        std::fprintf(stderr,
+                     "pipette: --interconnect must be hmb or lmb (got %s)\n",
+                     args.interconnect.c_str());
+        std::exit(2);
+      }
+    } else if (std::strcmp(argv[i], "--prefetch") == 0) {
+      args.prefetch = true;
     } else if (std::strcmp(argv[i], "--quick") == 0) {
       args.quick = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::printf(
           "usage: %s [--requests N] [--seed S] [--quick] [--jobs N] "
-          "[--queue heap|wheel|both] [--csv PATH] [--json PATH]\n"
+          "[--queue heap|wheel|both] [--interconnect hmb|lmb] [--prefetch] "
+          "[--csv PATH] [--json PATH]\n"
           "  --jobs N     run independent experiment cells on N threads\n"
           "               (0 = hardware concurrency, 1 = serial; results\n"
           "               are bit-identical at any job count)\n"
           "  --queue Q    event-queue backend (drain order is identical;\n"
           "               this is a host-speed knob; 'both' only where a\n"
           "               bench compares backends)\n"
+          "  --interconnect L  link carrying fine-grained fills: hmb (PCIe\n"
+          "               DMA into host DRAM, default) or lmb (CXL-linked\n"
+          "               memory buffer with its own timing)\n"
+          "  --prefetch   enable speculative readahead on the Pipette path\n"
           "  --json PATH  write a machine-readable summary (host_seconds,\n"
           "               events_executed per cell) for perf tracking\n",
           argv[0]);

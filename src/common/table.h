@@ -41,7 +41,8 @@ class Table {
 };
 
 /// Parses the common bench CLI: --csv <path>, --json <path>, --requests N,
-/// --quick, --seed S, --jobs N, --queue heap|wheel|both.
+/// --quick, --seed S, --jobs N, --queue heap|wheel|both,
+/// --interconnect hmb|lmb, --prefetch.
 struct BenchArgs {
   std::string csv_path;         // empty = no CSV
   std::string json_path;        // empty = no JSON summary
@@ -53,6 +54,9 @@ struct BenchArgs {
   std::string queue;            // event-queue backend: "heap", "wheel",
                                 // "both" (comparative benches only), or
                                 // "" = the bench's default
+  std::string interconnect;     // fine-grained fill link: "hmb", "lmb", or
+                                // "" = the bench's default (hmb)
+  bool prefetch = false;        // speculative readahead on the Pipette path
 
   /// Called for any flag the common parser does not recognise. Invoke
   /// `value()` to consume the flag's argument; return true if the flag was

@@ -21,6 +21,19 @@ PipettePath::PipettePath(Simulator& sim, SsdController& ssd, FileSystem& fs,
       "dispatcher fine_max_len exceeds the HMB TempBuf");
   fgrc_ = std::make_unique<FineGrainedReadCache>(
       ssd_.hmb(), config_.fgrc, &block_.page_cache().hit_counter());
+  if (config_.prefetch.enabled && config_.use_cache) {
+    // Speculation splits the TempBuf in half; demand staging must still fit
+    // its (lower) half.
+    PIPETTE_ASSERT_MSG(
+        config_.dispatch.fine_max_len <= ssd_.hmb().tempbuf().size() / 2,
+        "dispatcher fine_max_len exceeds the demand half of the TempBuf");
+    fgrc_->enable_speculative_staging();
+    prefetcher_ = std::make_unique<Prefetcher>(
+        sim_, ssd_, fs_, *fgrc_, config_.prefetch,
+        [this](FileId f, std::uint64_t page) {
+          return block_.page_cache().contains({f, page});
+        });
+  }
 }
 
 void PipettePath::reset_fgrc() {
@@ -28,6 +41,10 @@ void PipettePath::reset_fgrc() {
   fgrc_ = std::make_unique<FineGrainedReadCache>(
       ssd_.hmb(), config_.fgrc, &block_.page_cache().hit_counter());
   fgrc_->restore_stats(saved);
+  if (prefetcher_ != nullptr) {
+    fgrc_->enable_speculative_staging();
+    prefetcher_->on_cache_reset(*fgrc_);
+  }
 }
 
 void PipettePath::adopt_lba_scratch(std::vector<LbaRange>&& scratch) {
@@ -65,10 +82,18 @@ bool PipettePath::await_completion() {
   return false;
 }
 
+SimDuration PipettePath::buffer_read_cost(std::uint64_t bytes) const {
+  if (ssd_.config().interconnect == InterconnectKind::kLmb) {
+    return ssd_.config().lmb.host_read_cost(bytes);
+  }
+  return timing_.copy_cost(bytes);
+}
+
 PipettePath::FineOutcome PipettePath::fine_read(FileId file,
                                                 std::uint64_t offset,
                                                 std::span<std::uint8_t> out) {
   ++pstats_.fine_reads;
+  pending_pred_ = StreamPrediction{};  // kRandom: no speculation by default
   const std::uint64_t first_page = offset / kBlockSize;
   const std::uint64_t last_page = (offset + out.size() - 1) / kBlockSize;
 
@@ -111,9 +136,19 @@ PipettePath::FineOutcome PipettePath::fine_read(FileId file,
       pos += take;
       left -= take;
     }
+    if (prefetcher_ != nullptr) {
+      pending_pred_ = detector_.observe(
+          file, offset, static_cast<std::uint32_t>(out.size()));
+    }
   }
 
   const FgKey key{file, offset, static_cast<std::uint32_t>(out.size())};
+
+  // Claim any speculative fill for this key (waiting out an in-flight one
+  // under the timeout guard). A promoted fill then hits in the FGRC below;
+  // a TempBuf fill warmed the device read buffer, so the re-fetch skips
+  // NAND. Claiming before the lookup keeps hit attribution exact.
+  if (prefetcher_ != nullptr) prefetcher_->on_demand(key);
 
   if (config_.use_cache) {
     // Dispatch to the per-file hash lookup table.
@@ -127,7 +162,7 @@ PipettePath::FineOutcome PipettePath::fine_read(FileId file,
       PIPETTE_ASSERT(hit->size() == out.size());
       TraceScope copy_scope(sim_, Stage::kHostCopy);
       std::memcpy(out.data(), hit->data(), out.size());
-      sim_.advance(timing_.copy_cost(out.size()));
+      sim_.advance(buffer_read_cost(out.size()));
       return FineOutcome::kOk;
     }
   }
@@ -201,7 +236,7 @@ PipettePath::FineOutcome PipettePath::fine_read(FileId file,
   // to the user.
   TraceScope copy_scope(sim_, Stage::kHostCopy);
   ssd_.hmb().read(plan.dest, out);
-  sim_.advance(timing_.copy_cost(out.size()));
+  sim_.advance(buffer_read_cost(out.size()));
   return FineOutcome::kOk;
 }
 
@@ -242,6 +277,12 @@ SimDuration PipettePath::read(FileId file, int open_flags,
   }
   if (outcome == FineOutcome::kDegraded) ++stats_.degraded_reads;
   note_read(out.size(), latency);
+  // Speculation rides the tail of the syscall, after the demand latency was
+  // captured — like kernel readahead kicked off on the way out of read().
+  if (prefetcher_ != nullptr && route == Route::kFine &&
+      outcome == FineOutcome::kOk) {
+    prefetcher_->maybe_issue(pending_pred_);
+  }
   return latency;
 }
 

@@ -24,6 +24,7 @@
 #include "iopath/block_io_path.h"
 #include "pipette/detector.h"
 #include "pipette/fgrc.h"
+#include "pipette/prefetcher.h"
 
 namespace pipette {
 
@@ -33,6 +34,9 @@ struct PipettePathConfig {
   std::uint64_t page_cache_bytes = 64ull * 1024 * 1024;
   ReadaheadConfig readahead;
   bool use_cache = true;  // false = "Pipette w/o cache" baseline
+  // Speculative readahead on the fine path. Effective only with use_cache
+  // (speculation places through the FGRC's adaptive machinery).
+  PrefetchConfig prefetch;
   // Extension beyond the DAC'22 paper (CoinPurse-style, cited as the
   // complementary fine-grained *write* design): route small writes down
   // the byte path too. The device performs the read-modify-write
@@ -67,6 +71,8 @@ class PipettePath : public ReadPathBase {
 
   FineGrainedReadCache& fgrc() { return *fgrc_; }
   const FineGrainedAccessDetector& detector() const { return detector_; }
+  /// Null when prefetching is disabled (or use_cache is off).
+  const Prefetcher* prefetcher() const { return prefetcher_.get(); }
   BlockIoPath& block_route() { return block_; }
   const PipettePathStats& pipette_stats() const { return pstats_; }
   bool cache_enabled() const { return config_.use_cache; }
@@ -106,10 +112,19 @@ class PipettePath : public ReadPathBase {
   /// completion's ticket is then stale and will be ignored on arrival).
   bool await_completion();
 
+  /// Host cost of reading `bytes` out of the fine-grained buffer region: a
+  /// plain memcpy when it lives in host DRAM (HMB), a far-memory load over
+  /// the dedicated link when it lives on a CXL device (LMB).
+  SimDuration buffer_read_cost(std::uint64_t bytes) const;
+
   PipettePathConfig config_;
   BlockIoPath block_;  // the unchanged traditional path
   FineGrainedAccessDetector detector_;
   std::unique_ptr<FineGrainedReadCache> fgrc_;
+  std::unique_ptr<Prefetcher> prefetcher_;
+  // Classifier verdict of the current request, issued (as speculative
+  // commands) only after the demand latency has been captured.
+  StreamPrediction pending_pred_;
   PipettePathStats pstats_;
   // Scratch for the LBA Extractor, reused across requests so the per-read
   // hot path performs no heap allocation in steady state (Command::ranges

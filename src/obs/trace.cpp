@@ -13,6 +13,7 @@ const char* stage_name(Stage s) {
     case Stage::kFgrcFill: return "fgrc_fill";
     case Stage::kExtentLookup: return "extent_lookup";
     case Stage::kInfoRing: return "info_ring";
+    case Stage::kSpecFill: return "spec_fill";
     case Stage::kQueue: return "queue";
     case Stage::kFtl: return "ftl";
     case Stage::kNandSense: return "nand_sense";
@@ -20,6 +21,7 @@ const char* stage_name(Stage s) {
     case Stage::kNandBus: return "nand_bus";
     case Stage::kPcieDma: return "pcie_dma";
     case Stage::kHmbDma: return "hmb_dma";
+    case Stage::kLmbDma: return "lmb_dma";
     case Stage::kHostCopy: return "host_copy";
     case Stage::kComplete: return "complete";
     case Stage::kStageCount: break;
@@ -37,6 +39,7 @@ const char* stage_track(Stage s) {
     case Stage::kFgrcFill:
     case Stage::kExtentLookup:
     case Stage::kInfoRing:
+    case Stage::kSpecFill:
     case Stage::kHostCopy:
       return "host";
     case Stage::kQueue:
@@ -49,6 +52,7 @@ const char* stage_track(Stage s) {
       return "media";
     case Stage::kPcieDma:
     case Stage::kHmbDma:
+    case Stage::kLmbDma:
       return "transfer";
     case Stage::kStageCount:
       break;

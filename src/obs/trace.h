@@ -42,6 +42,7 @@ enum class Stage : std::uint8_t {
   kFgrcFill,        // FGRC promotion fill: HMB read + slab insert
   kExtentLookup,    // filesystem extent mapping
   kInfoRing,        // Info-ring slot enqueue (instant; occupancy in args)
+  kSpecFill,        // speculative prefetch issue + fill bookkeeping
   kQueue,           // NVMe submission: doorbell to firmware pickup
   kFtl,             // firmware command parse + FTL lookup
   kNandSense,       // first NAND sensing pass (tR)
@@ -49,6 +50,7 @@ enum class Stage : std::uint8_t {
   kNandBus,         // NAND channel transfer die -> controller buffer
   kPcieDma,         // PCIe DMA device -> host (block data / CMB pull)
   kHmbDma,          // PCIe DMA into the host memory buffer (fine-grained)
+  kLmbDma,          // CXL DMA into the linked memory buffer (fine-grained)
   kHostCopy,        // host-side copy-out to the user buffer
   kComplete,        // completion doorbell + interrupt path
   kStageCount,

@@ -7,6 +7,20 @@
 
 namespace pipette {
 
+const char* to_string(StreamClass c) {
+  switch (c) {
+    case StreamClass::kRandom:
+      return "random";
+    case StreamClass::kSequential:
+      return "sequential";
+    case StreamClass::kStrided:
+      return "strided";
+    case StreamClass::kClusteredHot:
+      return "clustered_hot";
+  }
+  return "?";
+}
+
 bool FineGrainedAccessDetector::permitted(int open_flags) {
   return (open_flags & kOpenFineGrained) != 0;
 }
@@ -16,27 +30,91 @@ std::size_t FineGrainedAccessDetector::record(FileId file, std::uint64_t page,
                                               std::uint32_t len) {
   PIPETTE_ASSERT(len > 0 && offset + len <= kBlockSize);
   ++fine_accesses_;
-  auto& ranges = pages_[PageId{file, page}];
-  ranges.push_back({offset, len});
-  // Coalesce: sort by offset, merge overlapping or adjacent ranges.
-  std::sort(ranges.begin(), ranges.end(),
-            [](const PageAccessRange& a, const PageAccessRange& b) {
-              return a.offset < b.offset;
-            });
-  std::vector<PageAccessRange> merged;
-  for (const PageAccessRange& r : ranges) {
-    if (!merged.empty() &&
-        r.offset <= merged.back().offset + merged.back().len) {
-      const std::uint32_t end =
-          std::max(merged.back().offset + merged.back().len,
-                   r.offset + r.len);
-      merged.back().len = end - merged.back().offset;
-    } else {
-      merged.push_back(r);
+  auto [page_it, inserted] = pages_.try_emplace(PageId{file, page});
+  std::vector<PageAccessRange>& ranges = page_it->second;
+  if (inserted) ++allocation_events_;
+  const std::size_t cap_before = ranges.capacity();
+
+  // In-place insertion-merge. Invariant on entry and exit: ranges are
+  // sorted by offset and disjoint with no two adjacent (for consecutive
+  // a, b: b.offset > a.offset + a.len). One lower_bound finds the insert
+  // point, the new range merges into its predecessor if it touches it, and
+  // then absorbs any following ranges it now reaches — no re-sort, no
+  // fresh vector, allocation-free once the page's capacity has warmed up.
+  auto it = std::lower_bound(
+      ranges.begin(), ranges.end(), offset,
+      [](const PageAccessRange& r, std::uint32_t o) { return r.offset < o; });
+  if (it != ranges.begin() &&
+      std::prev(it)->offset + std::prev(it)->len >= offset) {
+    --it;
+    const std::uint32_t end =
+        std::max(it->offset + it->len, offset + len);
+    it->len = end - it->offset;
+  } else {
+    it = ranges.insert(it, {offset, len});
+  }
+  const auto next = std::next(it);
+  auto last = next;
+  std::uint32_t end = it->offset + it->len;
+  while (last != ranges.end() && last->offset <= end) {
+    end = std::max(end, last->offset + last->len);
+    ++last;
+  }
+  if (last != next) {
+    it->len = end - it->offset;
+    ranges.erase(next, last);
+  }
+  if (ranges.capacity() != cap_before) ++allocation_events_;
+  return ranges.size();
+}
+
+StreamPrediction FineGrainedAccessDetector::observe(FileId file,
+                                                    std::uint64_t offset,
+                                                    std::uint32_t len) {
+  FileStream& s = streams_[file];
+  StreamPrediction p;
+  p.file = file;
+  p.base = offset;
+  p.len = len;
+  if (s.valid) {
+    const std::int64_t delta = static_cast<std::int64_t>(offset) -
+                               static_cast<std::int64_t>(s.last_offset);
+    if (delta != 0 && delta == s.stride) {
+      ++s.run;
+    } else if (delta != 0) {
+      s.stride = delta;
+      s.run = 1;
+    }
+    // Cluster density: how many of the recent accesses fall within the
+    // radius of this one.
+    std::uint32_t near = 0;
+    const std::uint32_t window = std::min(s.recent_count, kClusterWindow);
+    for (std::uint32_t i = 0; i < window; ++i) {
+      const std::uint64_t other = s.recent[i];
+      const std::uint64_t dist = other > offset ? other - offset
+                                                : offset - other;
+      if (dist <= kClusterRadius) ++near;
+    }
+    if (s.run >= kMinStrideRun) {
+      p.cls = (s.stride == static_cast<std::int64_t>(s.last_len))
+                  ? StreamClass::kSequential
+                  : StreamClass::kStrided;
+      p.stride = s.stride;
+      p.confidence = s.run;
+    } else if (window >= kClusterWindow && near >= kClusterMin) {
+      p.cls = StreamClass::kClusteredHot;
+      p.stride = static_cast<std::int64_t>(len);
+      p.confidence = near;
     }
   }
-  ranges = std::move(merged);
-  return ranges.size();
+  s.recent[s.recent_pos] = offset;
+  s.recent_pos = (s.recent_pos + 1) % kClusterWindow;
+  s.recent_count = std::min(s.recent_count + 1, kClusterWindow);
+  s.last_offset = offset;
+  s.last_len = len;
+  s.valid = true;
+  ++stream_class_counts_[static_cast<std::size_t>(p.cls)];
+  return p;
 }
 
 const std::vector<PageAccessRange>& FineGrainedAccessDetector::ranges(

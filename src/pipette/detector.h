@@ -2,8 +2,17 @@
 // miss, it verifies that the file was opened with the byte-granular
 // datapath enabled (O_FINE_GRAINED) and maintains the access ranges per
 // page so Pipette can determine which part of each page is demanded.
+//
+// The detector also hosts the per-file stream classifier feeding the
+// speculative prefetcher (arXiv 2109.05366's access-pattern taxonomy):
+// observe() folds each fine-grained access into a tiny per-file state —
+// last offset, current stride run, a recency window of offsets — and
+// labels the stream sequential / strided / clustered-hot / random. It is
+// only called when prefetching is enabled, so the demand-only hot path is
+// untouched.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -16,6 +25,30 @@ namespace pipette {
 struct PageAccessRange {
   std::uint32_t offset = 0;  // within the page
   std::uint32_t len = 0;
+};
+
+/// Stream label for one file's fine-grained access pattern.
+enum class StreamClass : std::uint8_t {
+  kRandom = 0,
+  kSequential,   // constant stride equal to the access length
+  kStrided,      // constant non-zero stride
+  kClusteredHot, // most recent accesses fall inside a small byte radius
+};
+
+inline constexpr std::size_t kStreamClassCount = 4;
+
+const char* to_string(StreamClass c);
+
+/// One classifier verdict, consumed by the prefetcher to generate
+/// speculative keys: `base + k*stride` for sequential/strided streams, the
+/// `base ± k*len` neighbourhood grid for clustered-hot ones.
+struct StreamPrediction {
+  StreamClass cls = StreamClass::kRandom;
+  FileId file = kInvalidFileId;
+  std::uint64_t base = 0;    // offset of the access that produced the verdict
+  std::int64_t stride = 0;   // signed predicted inter-access stride (bytes)
+  std::uint32_t len = 0;     // access length (the fine-grained grid unit)
+  std::uint32_t confidence = 0;  // stride run length / cluster density
 };
 
 class FineGrainedAccessDetector {
@@ -36,10 +69,51 @@ class FineGrainedAccessDetector {
   /// Fraction of the page's bytes ever demanded (diagnoses amplification).
   double demanded_fraction(FileId file, std::uint64_t page) const;
 
+  /// Stream classifier: fold one whole-request access (file-absolute offset)
+  /// into the per-file stream state and return the updated verdict. Called
+  /// by the prefetcher's trigger path only — record() above stays the only
+  /// cost on the demand path when prefetching is off.
+  StreamPrediction observe(FileId file, std::uint64_t offset,
+                           std::uint32_t len);
+
   std::uint64_t fine_accesses() const { return fine_accesses_; }
   std::uint64_t pages_tracked() const { return pages_.size(); }
 
+  /// Times record() grew a per-page vector or inserted a new page — the
+  /// steady-state allocation tripwire des_microbench asserts on (a warm
+  /// detector replaying a seen pattern must not bump this).
+  std::uint64_t allocation_events() const { return allocation_events_; }
+
+  /// observe() verdict counts, indexed by StreamClass.
+  const std::array<std::uint64_t, kStreamClassCount>& stream_class_counts()
+      const {
+    return stream_class_counts_;
+  }
+
  private:
+  // Classifier tuning. The cluster radius is a handful of pages: wide
+  // enough to catch hot-key neighbourhoods, narrow enough that uniform
+  // traffic over a big file almost never trips it.
+  static constexpr std::uint32_t kClusterWindow = 8;
+  // 4 near votes fire after ~5 accesses into a fresh neighbourhood — early
+  // enough that a prefetcher can still cover most of a burst. False fires
+  // on uniform traffic need 4 of 8 recent offsets within the radius of a
+  // big file: P ~ (radius/file)^4, vanishingly rare.
+  static constexpr std::uint32_t kClusterMin = 4;       // dense window votes
+  static constexpr std::uint64_t kClusterRadius = 128 * 1024;
+  static constexpr std::uint32_t kMinStrideRun = 2;
+
+  struct FileStream {
+    std::uint64_t last_offset = 0;
+    std::uint32_t last_len = 0;
+    std::int64_t stride = 0;
+    std::uint32_t run = 0;  // consecutive accesses with this stride
+    std::array<std::uint64_t, kClusterWindow> recent{};
+    std::uint32_t recent_count = 0;
+    std::uint32_t recent_pos = 0;
+    bool valid = false;
+  };
+
   struct PageId {
     FileId file;
     std::uint64_t page;
@@ -53,7 +127,10 @@ class FineGrainedAccessDetector {
   };
 
   std::unordered_map<PageId, std::vector<PageAccessRange>, PageIdHash> pages_;
+  std::unordered_map<FileId, FileStream> streams_;
   std::uint64_t fine_accesses_ = 0;
+  std::uint64_t allocation_events_ = 0;
+  std::array<std::uint64_t, kStreamClassCount> stream_class_counts_{};
 };
 
 /// Read Dispatcher (paper §3.1.2): sends each read down the byte-granular

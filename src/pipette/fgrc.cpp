@@ -40,13 +40,29 @@ std::optional<std::span<const std::uint8_t>> FineGrainedReadCache::lookup(
 }
 
 HmbAddr FineGrainedReadCache::tempbuf_addr(std::uint32_t len) {
-  const auto size = static_cast<HmbAddr>(hmb_.tempbuf().size());
-  PIPETTE_ASSERT_MSG(len <= size, "TempBuf smaller than one object");
-  if (tempbuf_cursor_ + len > size) tempbuf_cursor_ = 0;
+  // With speculative staging enabled, demand staging is confined to the
+  // lower half so an in-flight speculative DMA can never clobber bytes a
+  // demand read is about to copy out.
+  const auto total = static_cast<HmbAddr>(hmb_.tempbuf().size());
+  const HmbAddr limit = spec_staging_ ? total / 2 : total;
+  PIPETTE_ASSERT_MSG(len <= limit, "TempBuf smaller than one object");
+  if (tempbuf_cursor_ + len > limit) tempbuf_cursor_ = 0;
   const HmbAddr addr = hmb_.tempbuf_offset() + tempbuf_cursor_;
   tempbuf_cursor_ += len;
   stats_.tempbuf_peak_bytes =
       std::max<std::uint64_t>(stats_.tempbuf_peak_bytes, tempbuf_cursor_);
+  return addr;
+}
+
+HmbAddr FineGrainedReadCache::spec_tempbuf_addr(std::uint32_t len) {
+  PIPETTE_ASSERT(spec_staging_);
+  const auto total = static_cast<HmbAddr>(hmb_.tempbuf().size());
+  const HmbAddr base = total / 2;
+  const HmbAddr size = total - base;
+  PIPETTE_ASSERT_MSG(len <= size, "TempBuf half smaller than one object");
+  if (spec_cursor_ + len > size) spec_cursor_ = 0;
+  const HmbAddr addr = hmb_.tempbuf_offset() + base + spec_cursor_;
+  spec_cursor_ += len;
   return addr;
 }
 
@@ -89,6 +105,33 @@ bool FineGrainedReadCache::relieve_pressure(std::uint32_t cls) {
   return false;
 }
 
+std::optional<ItemLoc> FineGrainedReadCache::allocate_with_relief(
+    const FgKey& key) {
+  const std::uint32_t cls = store_.class_for(key.len);
+  std::optional<ItemLoc> loc = store_.allocate(key);
+  while (!loc) {
+    if (!relieve_pressure(cls)) break;
+    loc = store_.allocate(key);
+  }
+  return loc;
+}
+
+MissPlan FineGrainedReadCache::install_promotion(const FgKey& key,
+                                                 ItemLoc loc) {
+  ghosts_.forget(key);
+  ++stats_.promotions;
+  const std::uint32_t cls = store_.class_for(key.len);
+  if (cls < stats_.class_promotions.size()) ++stats_.class_promotions[cls];
+  tables_[key.file].emplace(key.offset, loc);
+  const bool inserted = index_.emplace(key, loc).second;
+  PIPETTE_ASSERT_MSG(inserted, "promoting an already-cached key");
+  MissPlan plan;
+  plan.dest = store_.hmb_addr(loc);
+  plan.promoted = true;
+  plan.loc = loc;
+  return plan;
+}
+
 MissPlan FineGrainedReadCache::plan_miss(const FgKey& key) {
   const std::uint32_t refs = ghosts_.record(key);
   MissPlan plan;
@@ -101,12 +144,7 @@ MissPlan FineGrainedReadCache::plan_miss(const FgKey& key) {
     return plan;
   }
 
-  const std::uint32_t cls = store_.class_for(key.len);
-  std::optional<ItemLoc> loc = store_.allocate(key);
-  while (!loc) {
-    if (!relieve_pressure(cls)) break;
-    loc = store_.allocate(key);
-  }
+  std::optional<ItemLoc> loc = allocate_with_relief(key);
   if (!loc) {
     // No space and no relief possible: serve through TempBuf.
     ++stats_.tempbuf_fills;
@@ -114,16 +152,26 @@ MissPlan FineGrainedReadCache::plan_miss(const FgKey& key) {
     plan.promoted = false;
     return plan;
   }
+  return install_promotion(key, *loc);
+}
 
-  ghosts_.forget(key);
-  ++stats_.promotions;
-  if (cls < stats_.class_promotions.size()) ++stats_.class_promotions[cls];
-  tables_[key.file].emplace(key.offset, *loc);
-  const bool inserted = index_.emplace(key, *loc).second;
-  PIPETTE_ASSERT_MSG(inserted, "promoting an already-cached key");
-  plan.dest = store_.hmb_addr(*loc);
-  plan.promoted = true;
-  plan.loc = *loc;
+MissPlan FineGrainedReadCache::plan_speculative(const FgKey& key,
+                                                std::uint32_t confidence) {
+  // The classifier's confidence (stride run length / cluster density)
+  // stands in for the ghost reference count: the same AdaptiveThreshold
+  // that gates demand promotions gates speculative ones, so a workload the
+  // adaptive machinery judges cache-hostile keeps speculation out of the
+  // cache too. The ghost tracker is neither consulted nor recorded —
+  // speculative traffic must not inflate demand reuse evidence.
+  MissPlan plan;
+  if (confidence >= adaptive_.threshold()) {
+    if (std::optional<ItemLoc> loc = allocate_with_relief(key)) {
+      return install_promotion(key, *loc);
+    }
+  }
+  ++stats_.tempbuf_fills;
+  plan.dest = spec_tempbuf_addr(key.len);
+  plan.promoted = false;
   return plan;
 }
 

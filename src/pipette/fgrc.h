@@ -78,6 +78,28 @@ class FineGrainedReadCache {
   /// Called after lookup() returned nullopt for this key.
   MissPlan plan_miss(const FgKey& key);
 
+  /// Pure index probe — no hit/miss stats, no adaptive-threshold or epoch
+  /// accounting. Used by the prefetcher to dedup speculative candidates
+  /// without perturbing the demand path's statistics.
+  bool contains(const FgKey& key) const {
+    return index_.find(key) != index_.end();
+  }
+
+  /// Placement for a *speculative* fill (prefetcher). Promotion reuses the
+  /// AdaptiveThreshold verdict — classifier confidence stands in for the
+  /// ghost reference count — but the ghost tracker is NOT recorded into:
+  /// speculation must not fast-track later demand promotions. Low-confidence
+  /// fills stage through the speculative half of TempBuf (see
+  /// enable_speculative_staging) so they cannot clobber in-flight demand
+  /// staging.
+  MissPlan plan_speculative(const FgKey& key, std::uint32_t confidence);
+
+  /// Split the TempBuf in half: demand staging keeps the lower half,
+  /// speculative fills rotate over the upper half. Called once by
+  /// PipettePath when prefetching is enabled; without it the full TempBuf
+  /// serves demand exactly as before.
+  void enable_speculative_staging() { spec_staging_ = true; }
+
   /// The fill that plan_miss() reserved never delivered its bytes (device
   /// fault). Evict the poisoned reservation so a later lookup can never
   /// serve garbage; a plain TempBuf plan needs no cleanup.
@@ -132,6 +154,12 @@ class FineGrainedReadCache {
   void remove_index_entry(const FgKey& key, ItemLoc loc);
   bool relieve_pressure(std::uint32_t cls);
   void run_reassignment_epoch();
+  /// Reserve a cache item for `key`, relieving pressure as needed.
+  std::optional<ItemLoc> allocate_with_relief(const FgKey& key);
+  /// Install a freshly reserved item into the tables and build its plan.
+  MissPlan install_promotion(const FgKey& key, ItemLoc loc);
+  /// Staging address in the speculative half of the TempBuf.
+  HmbAddr spec_tempbuf_addr(std::uint32_t len);
 
   Hmb& hmb_;
   FgrcConfig config_;
@@ -144,6 +172,8 @@ class FineGrainedReadCache {
   FgrcStats stats_;
   Rng rng_{0xcafe};
   HmbAddr tempbuf_cursor_ = 0;
+  bool spec_staging_ = false;   // TempBuf split for speculative fills
+  HmbAddr spec_cursor_ = 0;     // rotates over the upper TempBuf half
   std::uint64_t accesses_since_epoch_ = 0;
   std::vector<std::uint64_t> evictions_at_epoch_;  // per class
 };

@@ -24,6 +24,7 @@ namespace {
 
 MachineConfig shaped(const MachineConfig& in) {
   MachineConfig config = in;
+  config.ssd.interconnect = config.interconnect;
   // Non-Pipette machines need no FGRC space in the HMB; shrink it so the
   // host-memory footprint comparison stays honest.
   if (config.kind != PathKind::kPipette &&
@@ -36,6 +37,15 @@ MachineConfig shaped(const MachineConfig& in) {
     config.pipette.page_cache_bytes = config.page_cache_bytes;
     config.pipette.readahead = config.readahead;
     config.pipette.use_cache = config.kind == PathKind::kPipette;
+    config.pipette.prefetch = config.prefetch;
+    config.pipette.prefetch.enabled =
+        config.prefetch.enabled && config.kind == PathKind::kPipette;
+    if (config.interconnect == InterconnectKind::kLmb) {
+      // The buffer region lives on the CXL device: the host DRAM it used
+      // to occupy goes back to the page cache (the memory-footprint story
+      // of CXL-resident buffers — see DESIGN.md on LMB calibration).
+      config.pipette.page_cache_bytes += config.ssd.hmb.data_bytes;
+    }
   }
   return config;
 }
@@ -149,6 +159,11 @@ void Machine::collect_metrics(MetricsRegistry& out) {
 
   out.set("pcie.dma_transfers", ssd_->pcie().dma_transfers());
   out.set("pcie.dma_bytes", ssd_->pcie().dma_bytes());
+  // Gated so default (HMB) registries stay bit-identical to history.
+  if (config_.ssd.interconnect == InterconnectKind::kLmb) {
+    out.set("lmb.dma_transfers", ssd_->pcie().lmb_transfers());
+    out.set("lmb.dma_bytes", ssd_->pcie().lmb_bytes());
+  }
 
   const InfoArea& info = ssd_->hmb().info();
   out.set("hmb.info_peak_in_flight", info.peak_in_flight());
@@ -206,6 +221,31 @@ void Machine::collect_metrics(MetricsRegistry& out) {
     out.set("fgrc.adaptive_threshold", fgrc.adaptive().threshold());
     out.set("fgrc.adaptive_accesses", fgrc.adaptive().accesses());
     out.set("fgrc.adaptive_reuses", fgrc.adaptive().reuses());
+
+    // Prefetch counters exist only when the prefetcher does, so
+    // prefetch-off registries stay bit-identical to history.
+    if (const Prefetcher* pf = p->prefetcher()) {
+      const PrefetchStats& pfs = pf->stats();
+      out.set("prefetch.issued", pfs.issued);
+      out.set("prefetch.commands", pfs.commands);
+      out.set("prefetch.hits", pfs.hits);
+      out.set("prefetch.hits_promoted", pfs.hits_promoted);
+      out.set("prefetch.late", pfs.late);
+      // Aged-out fills plus fills still unclaimed at collection time.
+      out.set("prefetch.wasted", pfs.wasted + pf->unclaimed());
+      out.set("prefetch.lost", pfs.lost);
+      out.set("prefetch.faulted", pfs.faulted);
+      out.set("prefetch.throttled", pfs.throttled);
+      out.set("prefetch.filtered", pfs.filtered);
+      out.set("prefetch.promoted", pfs.promoted);
+      out.set("prefetch.tempbuf", pfs.tempbuf);
+      const auto& classes = p->detector().stream_class_counts();
+      for (std::size_t i = 0; i < classes.size(); ++i) {
+        out.set(std::string("detector.stream_") +
+                    to_string(static_cast<StreamClass>(i)),
+                classes[i]);
+      }
+    }
 
     const SlabStore& store = fgrc.store();
     const SlabStoreStats& ss = store.stats();

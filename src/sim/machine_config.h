@@ -47,6 +47,13 @@ struct MachineConfig {
   PathKind kind = PathKind::kBlockIo;
   ControllerConfig ssd;
   HostTiming host;
+  /// Link carrying fine-grained fills: PCIe DMA into host DRAM (kHmb, the
+  /// paper's baseline) or a CXL-linked memory buffer (kLmb). With kLmb the
+  /// buffer lives on the CXL device, so its data-area bytes stop stealing
+  /// host DRAM — shaped() returns that budget to the page cache.
+  InterconnectKind interconnect = InterconnectKind::kHmb;
+  /// Speculative readahead on the fine path (Pipette-with-cache only).
+  PrefetchConfig prefetch;
   std::uint64_t page_cache_bytes = 160ull * 1024 * 1024;
   ReadaheadConfig readahead{/*initial_window=*/1, /*max_window=*/32,
                             /*enabled=*/true};

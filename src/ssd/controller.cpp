@@ -65,7 +65,7 @@ SsdController::SsdController(Simulator& sim, const ControllerConfig& config)
       nand_(sim, config.geometry, config.nand_timing, config.faults.nand,
             config.faults.seed),
       ftl_(config.geometry, resolve_lba_count(config)),
-      pcie_(sim, config.pcie),
+      pcie_(sim, config.pcie, config.lmb),
       hmb_(config.hmb),
       cmb_(config.cmb_slots),
       hmb_faults_(config.faults.seed, FaultDomain::kHmbDma),
@@ -147,6 +147,15 @@ void SsdController::recycle_fg_ranges(std::vector<FgRange>&& ranges) {
   // A handful of buffers covers every in-flight fine-grained command; the
   // cap only guards against a pathological burst pinning memory.
   if (fg_range_pool_.size() < 64) fg_range_pool_.push_back(std::move(ranges));
+}
+
+void SsdController::fine_dma(std::uint64_t bytes,
+                             Simulator::Callback on_done) {
+  if (config_.interconnect == InterconnectKind::kLmb) {
+    pcie_.dma_lmb(bytes, std::move(on_done));
+  } else {
+    pcie_.dma(bytes, std::move(on_done), Stage::kHmbDma);
+  }
 }
 
 void SsdController::complete(Completion& done, CommandResult result) {
@@ -361,10 +370,10 @@ void SsdController::group_ranges_by_page(FgJob& job, bool with_offsets) {
 void SsdController::fg_range_done(FgJob* job) {
   if (--job->ranges_pending > 0) return;
   // Device "digests items in Info Area and increases the head's value":
-  // retire records in ring order — even for failed commands, so the ring
-  // never leaks records.
-  for (std::size_t i = 0; i < job->cmd.ranges.size(); ++i)
-    hmb_.info().consume();
+  // retire this command's records — even for failed commands, so the ring
+  // never leaks. release() keeps the head correct when concurrent commands
+  // (demand + speculative prefetch) retire out of push order.
+  for (const FgRange& r : job->cmd.ranges) hmb_.info().release(r.info_index);
   recycle_fg_ranges(std::move(job->cmd.ranges));
   const CmdStatus status =
       job->media_failed ? CmdStatus::kMediaError : CmdStatus::kOk;
@@ -402,8 +411,8 @@ void SsdController::do_fg_read(Command cmd, Completion done) {
     // to fall back to the block path.
     ++stats_.hmb_dma_faults;
     sim_.schedule(hf.fault_latency, [this, job]() {
-      for (std::size_t i = 0; i < job->cmd.ranges.size(); ++i)
-        hmb_.info().consume();
+      for (const FgRange& r : job->cmd.ranges)
+        hmb_.info().release(r.info_index);
       recycle_fg_ranges(std::move(job->cmd.ranges));
       const bool drop = job->drop_completion;
       Completion done = std::move(job->done);
@@ -445,17 +454,13 @@ void SsdController::do_fg_read(Command cmd, Completion done) {
         PIPETTE_TRACE_SPAN(sim_, Stage::kFtl, sim_.now(),
                            sim_.now() + config_.timing.firmware_per_range);
         sim_.schedule(config_.timing.firmware_per_range, [this, job, rec]() {
-          pcie_.dma(
-              rec.byte_len,
-              [this, job, rec]() {
-                std::vector<std::uint8_t> tmp(rec.byte_len);
-                content_.read(rec.lba, rec.byte_offset,
-                              {tmp.data(), tmp.size()});
-                hmb_.dma_write(rec.dest, {tmp.data(), tmp.size()});
-                stats_.bytes_to_host += rec.byte_len;
-                fg_range_done(job);
-              },
-              Stage::kHmbDma);
+          fine_dma(rec.byte_len, [this, job, rec]() {
+            std::vector<std::uint8_t> tmp(rec.byte_len);
+            content_.read(rec.lba, rec.byte_offset, {tmp.data(), tmp.size()});
+            hmb_.dma_write(rec.dest, {tmp.data(), tmp.size()});
+            stats_.bytes_to_host += rec.byte_len;
+            fg_range_done(job);
+          });
         });
       }
     });

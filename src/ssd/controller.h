@@ -102,6 +102,13 @@ struct ControllerConfig {
   bool block_reads_use_buffer = false;
   std::uint32_t cmb_slots = 64;
   Hmb::Layout hmb;
+  // Which link carries fine-grained fills. kHmb: PCIe DMA into host DRAM
+  // (the paper's baseline). kLmb: a CXL-linked memory buffer with its own
+  // timing (`lmb`) and a dedicated link — the Hmb object then models the
+  // LMB's Info/TempBuf/Data layout, living on the CXL device instead of in
+  // host DRAM. Block reads/writes stay on PCIe either way.
+  InterconnectKind interconnect = InterconnectKind::kHmb;
+  LmbTiming lmb;
   std::uint64_t content_seed = 0xd15c;
 };
 
@@ -186,6 +193,10 @@ class SsdController {
 
   /// Execute any relocations the FTL's GC queued (background NAND work).
   void perform_gc_moves();
+
+  /// Fine-grained fill transfer on the configured interconnect: PCIe DMA
+  /// into the HMB, or the dedicated CXL link into the LMB.
+  void fine_dma(std::uint64_t bytes, Simulator::Callback on_done);
 
   void do_block_read(Command cmd, Completion done);
   void do_block_write(Command cmd, Completion done);

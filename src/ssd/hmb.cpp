@@ -8,7 +8,7 @@
 namespace pipette {
 
 InfoArea::InfoArea(std::uint32_t capacity)
-    : capacity_(capacity), slots_(capacity) {
+    : capacity_(capacity), slots_(capacity), digested_(capacity, false) {
   PIPETTE_ASSERT(capacity > 0);
 }
 
@@ -26,9 +26,16 @@ const InfoRecord& InfoArea::at(std::uint64_t idx) const {
   return slots_[idx % capacity_];
 }
 
-void InfoArea::consume() {
-  PIPETTE_ASSERT_MSG(!empty(), "Info Area underflow");
-  ++head_;
+void InfoArea::release(std::uint64_t idx) {
+  PIPETTE_ASSERT_MSG(idx >= head_ && idx < tail_,
+                     "Info Area release outside live window");
+  PIPETTE_ASSERT_MSG(!digested_[idx % capacity_],
+                     "Info Area record released twice");
+  digested_[idx % capacity_] = true;
+  while (head_ < tail_ && digested_[head_ % capacity_]) {
+    digested_[head_ % capacity_] = false;
+    ++head_;
+  }
 }
 
 Hmb::Hmb(const Layout& layout)

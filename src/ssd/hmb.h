@@ -56,7 +56,15 @@ class InfoArea {
 
   /// Device side: retire the oldest record (bump head). The paper's engine
   /// "digests items in Info Area and increases the head's value".
-  void consume();
+  void consume() { release(head_); }
+
+  /// Device side: mark record `idx` digested. The head advances past the
+  /// longest contiguous digested prefix — identical to consume() when
+  /// commands retire in push order, but safe when concurrent fine-grained
+  /// commands (demand + speculative prefetch) complete out of order: a
+  /// later command's retirement just leaves a gap until the earlier one
+  /// digests its records too.
+  void release(std::uint64_t idx);
 
   std::uint64_t head() const { return head_; }
   std::uint64_t tail() const { return tail_; }
@@ -67,6 +75,7 @@ class InfoArea {
   std::uint64_t tail_ = 0;
   std::uint32_t peak_in_flight_ = 0;
   std::vector<InfoRecord> slots_;
+  std::vector<bool> digested_;  // out-of-order release marks, slot-indexed
 };
 
 /// The HMB region: backing bytes plus the three-partition layout.

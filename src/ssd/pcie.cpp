@@ -4,6 +4,16 @@
 
 namespace pipette {
 
+const char* to_string(InterconnectKind k) {
+  switch (k) {
+    case InterconnectKind::kHmb:
+      return "hmb";
+    case InterconnectKind::kLmb:
+      return "lmb";
+  }
+  return "?";
+}
+
 void PcieLink::dma(std::uint64_t bytes, Simulator::Callback on_done,
                    Stage stage) {
   const SimTime start = std::max(sim_.now(), busy_until_);
@@ -17,6 +27,19 @@ void PcieLink::dma(std::uint64_t bytes, Simulator::Callback on_done,
   // Span includes time queued behind in-flight transfers on the shared
   // link, not just the wire time — link contention is the point.
   PIPETTE_TRACE_SPAN(sim_, stage, sim_.now(), end);
+  sim_.schedule_at(end, std::move(on_done));
+}
+
+void PcieLink::dma_lmb(std::uint64_t bytes, Simulator::Callback on_done) {
+  const SimTime start = std::max(sim_.now(), lmb_busy_until_);
+  const SimTime end =
+      start + lmb_.dma_overhead +
+      static_cast<SimDuration>(lmb_.dma_ns_per_byte *
+                               static_cast<double>(bytes));
+  lmb_busy_until_ = end;
+  ++lmb_transfers_;
+  lmb_bytes_ += bytes;
+  PIPETTE_TRACE_SPAN(sim_, Stage::kLmbDma, sim_.now(), end);
   sim_.schedule_at(end, std::move(on_done));
 }
 

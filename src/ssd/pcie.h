@@ -28,9 +28,40 @@ struct PcieTiming {
   std::uint32_t mmio_tx_bytes = 8;
 };
 
+/// Which interconnect carries fine-grained fills and where the host buffer
+/// lives: kHmb is the paper's baseline (PCIe DMA into host DRAM the OS
+/// surrendered via NVMe Set Features), kLmb is a CXL-linked memory buffer
+/// (arXiv 2406.02039) — a memory device hanging off a CXL.mem port that
+/// both the SSD and the host address directly, so fills ride a dedicated
+/// link and the buffer steals no host DRAM from the page cache.
+enum class InterconnectKind : std::uint8_t { kHmb, kLmb };
+
+const char* to_string(InterconnectKind k);
+
+/// CXL-linked-buffer cost model. Calibration rationale in DESIGN.md: the
+/// link is CXL 2.0 x8 (~6.4 GB/s effective after 68 B flit overhead), device
+/// writes skip the PCIe root complex/IOMMU hop (smaller fixed overhead than
+/// the NVMe DMA descriptor path), and host loads from CXL.mem pay a fixed
+/// ~250 ns round trip plus a streaming per-byte cost slower than local DRAM.
+struct LmbTiming {
+  double dma_ns_per_byte = 0.15625;      // ~6.4 GB/s device -> LMB
+  SimDuration dma_overhead = 400;        // flit header + no RC/IOMMU hop
+  SimDuration host_access_latency = 250;  // CXL.mem load round trip
+  double host_copy_ns_per_byte = 0.0875;  // ~11.4 GB/s host pull from LMB
+
+  /// Host-synchronous cost of copying `bytes` out of the linked buffer
+  /// (replaces HostTiming::copy_cost on the LMB backend).
+  SimDuration host_read_cost(std::uint64_t bytes) const {
+    return host_access_latency +
+           static_cast<SimDuration>(host_copy_ns_per_byte *
+                                    static_cast<double>(bytes));
+  }
+};
+
 class PcieLink {
  public:
-  PcieLink(Simulator& sim, PcieTiming timing) : sim_(sim), timing_(timing) {}
+  PcieLink(Simulator& sim, PcieTiming timing, LmbTiming lmb = {})
+      : sim_(sim), timing_(timing), lmb_(lmb) {}
 
   /// Schedule a DMA of `bytes`; `on_done` runs when the last TLP lands.
   /// Transfers queue behind any in-flight DMA (shared link). `stage` labels
@@ -38,6 +69,11 @@ class PcieLink {
   /// fine-grained writes into the host memory buffer.
   void dma(std::uint64_t bytes, Simulator::Callback on_done,
            Stage stage = Stage::kPcieDma);
+
+  /// Schedule a transfer of `bytes` over the CXL link into the linked
+  /// memory buffer. The LMB link is dedicated — transfers serialise on
+  /// their own busy horizon and never queue behind PCIe block traffic.
+  void dma_lmb(std::uint64_t bytes, Simulator::Callback on_done);
 
   /// Pure cost of an MMIO read of `bytes` (CPU-synchronous; the caller adds
   /// it to host time).
@@ -48,15 +84,22 @@ class PcieLink {
   SimDuration dma_cost(std::uint64_t bytes) const;
 
   const PcieTiming& timing() const { return timing_; }
+  const LmbTiming& lmb_timing() const { return lmb_; }
   std::uint64_t dma_transfers() const { return dma_transfers_; }
   std::uint64_t dma_bytes() const { return dma_bytes_; }
+  std::uint64_t lmb_transfers() const { return lmb_transfers_; }
+  std::uint64_t lmb_bytes() const { return lmb_bytes_; }
 
  private:
   Simulator& sim_;
   PcieTiming timing_;
+  LmbTiming lmb_;
   SimTime busy_until_ = 0;
+  SimTime lmb_busy_until_ = 0;
   std::uint64_t dma_transfers_ = 0;
   std::uint64_t dma_bytes_ = 0;
+  std::uint64_t lmb_transfers_ = 0;
+  std::uint64_t lmb_bytes_ = 0;
 };
 
 }  // namespace pipette

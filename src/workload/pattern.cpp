@@ -1,0 +1,79 @@
+#include "workload/pattern.h"
+
+#include <cstdio>
+
+#include "common/assert.h"
+#include "ssd/types.h"
+
+namespace pipette {
+
+StridedWorkload::StridedWorkload(const StridedConfig& config)
+    : config_(config), rng_(config.seed) {
+  PIPETTE_ASSERT(config.read_size > 0 && config.stride > 0);
+  PIPETTE_ASSERT(config.run_length >= 1);
+  PIPETTE_ASSERT(config.sub_offset + config.read_size <= config.stride);
+  files_.push_back({"strided.dat", config.file_size});
+  const std::uint64_t grid = config.file_size / config.stride;
+  PIPETTE_ASSERT(grid >= config.run_length);
+  // A run starting here always fits inside the file.
+  slots_ = grid - config.run_length + 1;
+}
+
+Request StridedWorkload::next() {
+  if (!in_run_) {
+    run_base_ = rng_.next_below(slots_) * config_.stride;
+    run_pos_ = 0;
+    in_run_ = true;
+  }
+  const std::uint64_t offset =
+      run_base_ + run_pos_ * config_.stride + config_.sub_offset;
+  if (++run_pos_ >= config_.run_length) in_run_ = false;
+  return {0, offset, config_.read_size, false};
+}
+
+std::string StridedWorkload::name() const {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "strided(%uB@%llu,run=%u)",
+                config_.read_size,
+                static_cast<unsigned long long>(config_.stride),
+                config_.run_length);
+  return buf;
+}
+
+ClusteredHotWorkload::ClusteredHotWorkload(const ClusteredConfig& config)
+    : config_(config), rng_(config.seed) {
+  PIPETTE_ASSERT(config.read_size > 0);
+  PIPETTE_ASSERT(config.cluster_bytes >= config.read_size);
+  PIPETTE_ASSERT(config.burst >= 1);
+  files_.push_back({"clustered.dat", config.file_size});
+  clusters_ = config.file_size / config.cluster_bytes;
+  items_per_cluster_ = config.cluster_bytes / config.read_size;
+  PIPETTE_ASSERT(clusters_ >= 1 && items_per_cluster_ >= 1);
+  zipf_ = std::make_unique<ZipfGenerator>(clusters_, config.zipf_alpha);
+}
+
+Request ClusteredHotWorkload::next() {
+  if (!in_burst_) {
+    // Rank == cluster index: the hot set sits at the start of the file,
+    // like the synthetic zipf mixes.
+    cluster_ = zipf_->sample(rng_);
+    burst_pos_ = 0;
+    in_burst_ = true;
+  }
+  const std::uint64_t item = rng_.next_below(items_per_cluster_);
+  const std::uint64_t offset =
+      cluster_ * config_.cluster_bytes + item * config_.read_size;
+  if (++burst_pos_ >= config_.burst) in_burst_ = false;
+  return {0, offset, config_.read_size, false};
+}
+
+std::string ClusteredHotWorkload::name() const {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "clustered(%uB,%lluKiB,burst=%u)",
+                config_.read_size,
+                static_cast<unsigned long long>(config_.cluster_bytes / 1024),
+                config_.burst);
+  return buf;
+}
+
+}  // namespace pipette

@@ -1,0 +1,85 @@
+// Pattern workloads for the readahead-prefetcher experiments: streams with
+// structure the stride/cluster classifier can exploit, alongside the
+// uniform-random synthetic mixes that must *not* trip it.
+//
+//  * StridedWorkload — fixed-size records visited in runs of constant
+//    stride (an analytics scan touching one column of a row-major table):
+//    `run_length` accesses at `base + k*stride`, then a jump to a fresh
+//    random run start on the stride grid. Within a run every access is
+//    predictable from the previous two.
+//  * ClusteredHotWorkload — a zipf-popular set of small clusters (hot-key
+//    neighbourhoods in a log-structured store). Each burst picks a cluster
+//    (zipf) and reads `burst` records on the record grid inside it, so the
+//    recency window is spatially dense even though individual offsets are
+//    random.
+#pragma once
+
+#include <memory>
+
+#include "common/rng.h"
+#include "common/zipf.h"
+#include "workload/workload.h"
+
+namespace pipette {
+
+struct StridedConfig {
+  std::uint64_t file_size = 256ull * 1024 * 1024;
+  std::uint32_t read_size = 128;
+  std::uint64_t stride = 4096;      // byte distance between run accesses
+  std::uint32_t run_length = 256;   // accesses per run
+  std::uint64_t sub_offset = 512;   // fixed intra-slot shift (never aligned)
+  std::uint64_t seed = 42;
+};
+
+class StridedWorkload : public Workload {
+ public:
+  explicit StridedWorkload(const StridedConfig& config);
+
+  const std::vector<FileSpec>& files() const override { return files_; }
+  Request next() override;
+  std::string name() const override;
+
+ private:
+  StridedConfig config_;
+  std::vector<FileSpec> files_;
+  Rng rng_;
+  std::uint64_t slots_;       // stride-grid positions a run may start at
+  std::uint64_t run_base_ = 0;
+  std::uint32_t run_pos_ = 0;
+  bool in_run_ = false;
+};
+
+struct ClusteredConfig {
+  std::uint64_t file_size = 256ull * 1024 * 1024;
+  std::uint32_t read_size = 128;
+  // Neighbourhood sizing: a cluster spans many 4 KiB pages and a burst
+  // dwells long enough that the handful of accesses the classifier needs
+  // to lock on (~5) are small against the burst — the regime where
+  // readahead can matter at the tail, not just the median.
+  std::uint64_t cluster_bytes = 64 * 1024;  // hot neighbourhood size
+  std::uint32_t burst = 512;                // accesses per cluster visit
+  double zipf_alpha = 0.8;                  // cluster popularity skew
+  std::uint64_t seed = 42;
+};
+
+class ClusteredHotWorkload : public Workload {
+ public:
+  explicit ClusteredHotWorkload(const ClusteredConfig& config);
+
+  const std::vector<FileSpec>& files() const override { return files_; }
+  Request next() override;
+  std::string name() const override;
+
+ private:
+  ClusteredConfig config_;
+  std::vector<FileSpec> files_;
+  Rng rng_;
+  std::uint64_t clusters_;
+  std::uint64_t items_per_cluster_;
+  std::unique_ptr<ZipfGenerator> zipf_;
+  std::uint64_t cluster_ = 0;  // current burst's cluster
+  std::uint32_t burst_pos_ = 0;
+  bool in_burst_ = false;
+};
+
+}  // namespace pipette
