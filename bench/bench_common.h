@@ -43,14 +43,15 @@ inline QueueKind queue_kind_of(const BenchArgs& args) {
   return args.queue == "wheel" ? QueueKind::kWheel : QueueKind::kHeap;
 }
 
-/// Apply the fine-path flags (--interconnect, --prefetch) to a machine
-/// config. A no-op when neither flag was given, so default runs stay
-/// bit-identical to history.
+/// Apply the fine-path flags (--interconnect, --prefetch, --mu) to a
+/// machine config. A no-op when none of the flags was given, so default
+/// runs stay bit-identical to history.
 inline void apply_fine_path_flags(const BenchArgs& args,
                                   MachineConfig& config) {
   if (args.interconnect == "lmb") config.interconnect = InterconnectKind::kLmb;
   if (args.prefetch) config.prefetch.enabled = true;  // Pipette kinds only;
                                                       // shaped() gates it
+  if (args.mapping_unit != 0) config.mapping_unit = args.mapping_unit;
 }
 
 /// default_machine / realapp_machine with the --queue backend and the

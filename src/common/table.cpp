@@ -142,13 +142,24 @@ BenchArgs BenchArgs::parse(int argc, char** argv, const ExtraFlagFn& extra,
       }
     } else if (std::strcmp(argv[i], "--prefetch") == 0) {
       args.prefetch = true;
+    } else if (std::strcmp(argv[i], "--mu") == 0) {
+      args.mapping_unit = static_cast<std::uint32_t>(
+          std::strtoul(need_value("--mu"), nullptr, 10));
+      if (args.mapping_unit < 512 || args.mapping_unit > 4096 ||
+          4096 % args.mapping_unit != 0) {
+        std::fprintf(stderr,
+                     "pipette: --mu must divide 4096 and be in [512, 4096] "
+                     "(got %u)\n",
+                     args.mapping_unit);
+        std::exit(2);
+      }
     } else if (std::strcmp(argv[i], "--quick") == 0) {
       args.quick = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::printf(
           "usage: %s [--requests N] [--seed S] [--quick] [--jobs N] "
           "[--queue heap|wheel|both] [--interconnect hmb|lmb] [--prefetch] "
-          "[--csv PATH] [--json PATH]\n"
+          "[--mu BYTES] [--csv PATH] [--json PATH]\n"
           "  --jobs N     run independent experiment cells on N threads\n"
           "               (0 = hardware concurrency, 1 = serial; results\n"
           "               are bit-identical at any job count)\n"
@@ -159,6 +170,8 @@ BenchArgs BenchArgs::parse(int argc, char** argv, const ExtraFlagFn& extra,
           "               DMA into host DRAM, default) or lmb (CXL-linked\n"
           "               memory buffer with its own timing)\n"
           "  --prefetch   enable speculative readahead on the Pipette path\n"
+          "  --mu BYTES   FTL mapping unit (512|1024|2048|4096; default:\n"
+          "               page-granular mapping, bit-identical to history)\n"
           "  --json PATH  write a machine-readable summary (host_seconds,\n"
           "               events_executed per cell) for perf tracking\n",
           argv[0]);

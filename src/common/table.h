@@ -42,7 +42,7 @@ class Table {
 
 /// Parses the common bench CLI: --csv <path>, --json <path>, --requests N,
 /// --quick, --seed S, --jobs N, --queue heap|wheel|both,
-/// --interconnect hmb|lmb, --prefetch.
+/// --interconnect hmb|lmb, --prefetch, --mu BYTES.
 struct BenchArgs {
   std::string csv_path;         // empty = no CSV
   std::string json_path;        // empty = no JSON summary
@@ -57,6 +57,8 @@ struct BenchArgs {
   std::string interconnect;     // fine-grained fill link: "hmb", "lmb", or
                                 // "" = the bench's default (hmb)
   bool prefetch = false;        // speculative readahead on the Pipette path
+  std::uint32_t mapping_unit = 0;  // FTL mapping unit in bytes; 0 = page
+                                   // (--mu 512|1024|2048|4096)
 
   /// Called for any flag the common parser does not recognise. Invoke
   /// `value()` to consume the flag's argument; return true if the flag was

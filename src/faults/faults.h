@@ -40,6 +40,20 @@ struct NandFaultPlan {
   double read_error_rate = 0.0;
   std::uint32_t max_attempts = 4;
   SimDuration backoff_base = 10 * kUs;  // wait before retry k: base << (k-1)
+
+  /// Wear-correlated media errors: each completed erase on a die adds
+  /// `wear_error_per_erase` to that die's per-pass read error probability,
+  /// so heavily-erased dies retry (and eventually fail) more. 0 disables
+  /// the wear model entirely — including the burst window below — and the
+  /// draw stream is bit-identical to a plan without these fields.
+  double wear_error_per_erase = 0.0;
+  /// Bursty post-erase window: the first `wear_burst_reads` reads on a die
+  /// after one of its blocks is erased see the wear contribution multiplied
+  /// by (1 + wear_burst_boost) — freshly-erased blocks disturb neighbouring
+  /// cells, so errors cluster right after an erase rather than arriving
+  /// flat. Inert while wear_error_per_erase == 0.
+  double wear_burst_boost = 3.0;
+  std::uint32_t wear_burst_reads = 64;
 };
 
 /// Faults of the fine-grained read engine's host-memory-buffer transfers.
@@ -67,8 +81,8 @@ struct FaultPlan {
   HmbFaultPlan hmb;
 
   bool any_device_faults() const {
-    return nand.read_error_rate > 0.0 || hmb.dma_fault_rate > 0.0 ||
-           hmb.drop_rate > 0.0;
+    return nand.read_error_rate > 0.0 || nand.wear_error_per_erase > 0.0 ||
+           hmb.dma_fault_rate > 0.0 || hmb.drop_rate > 0.0;
   }
 };
 

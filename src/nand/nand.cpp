@@ -51,7 +51,11 @@ NandArray::NandArray(Simulator& sim, NandGeometry geometry, NandTiming timing,
       faults_(faults),
       injector_(fault_seed, FaultDomain::kNand),
       die_busy_until_(geometry.dies(), 0),
-      channel_busy_until_(geometry.channels, 0) {
+      channel_busy_until_(geometry.channels, 0),
+      die_erases_(geometry.dies(), 0),
+      die_reads_(geometry.dies(), 0),
+      die_retries_(geometry.dies(), 0),
+      die_burst_left_(geometry.dies(), 0) {
   PIPETTE_ASSERT(geometry_.channels > 0 && geometry_.ways_per_channel > 0);
   PIPETTE_ASSERT(geometry_.page_size > 0);
   PIPETTE_ASSERT(faults_.max_attempts > 0);
@@ -80,14 +84,16 @@ NandReadOutcome NandArray::read_page(const PhysPageAddr& addr,
   PIPETTE_ASSERT(transfer_bytes <= geometry_.page_size);
 
   const std::size_t die = die_index(addr);
+  ++die_reads_[die];
   NandReadOutcome outcome;
   SimDuration sense = timing_.t_read();
-  if (faults_.read_error_rate > 0.0) {
+  const double error_rate = effective_read_error_rate(die);
+  if (error_rate > 0.0) {
     // Each failed sensing pass triggers a read-retry after an exponential
     // backoff (the controller re-tunes read reference voltages between
     // passes). After max_attempts failed passes the read is a terminal ECC
     // failure: the die time is still spent, but nothing crosses the bus.
-    while (injector_.fire(faults_.read_error_rate)) {
+    while (injector_.fire(error_rate)) {
       if (outcome.attempts == faults_.max_attempts) {
         outcome.failed = true;
         break;
@@ -97,6 +103,7 @@ NandReadOutcome NandArray::read_page(const PhysPageAddr& addr,
       ++outcome.attempts;
     }
     stats_.read_retries += outcome.attempts - 1;
+    die_retries_[die] += outcome.attempts - 1;
   }
 
   // Array sensing occupies the die.
@@ -134,6 +141,29 @@ NandReadOutcome NandArray::read_page(const PhysPageAddr& addr,
   stats_.bytes_transferred += transfer_bytes;
   sim_.schedule_at(xfer_end, std::move(on_done));
   return outcome;
+}
+
+double NandArray::effective_read_error_rate(std::size_t die) {
+  double rate = faults_.read_error_rate;
+  // Wear contribution: gated on the plan so an all-zero wear model draws
+  // and branches exactly like the flat injector did.
+  if (faults_.wear_error_per_erase > 0.0 && die_erases_[die] > 0) {
+    double wear = faults_.wear_error_per_erase *
+                  static_cast<double>(die_erases_[die]);
+    if (die_burst_left_[die] > 0) {
+      wear *= 1.0 + faults_.wear_burst_boost;
+      --die_burst_left_[die];
+    }
+    rate = std::min(1.0, rate + wear);
+  }
+  return rate;
+}
+
+void NandArray::note_erase(std::size_t die) {
+  PIPETTE_ASSERT(die < die_erases_.size());
+  ++die_erases_[die];
+  if (faults_.wear_error_per_erase > 0.0)
+    die_burst_left_[die] = faults_.wear_burst_reads;
 }
 
 void NandArray::program_page(const PhysPageAddr& addr, DoneCallback on_done) {

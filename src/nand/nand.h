@@ -110,10 +110,24 @@ class NandArray {
   /// Program one full page; `on_done` fires at program completion.
   void program_page(const PhysPageAddr& addr, DoneCallback on_done);
 
+  /// Record a completed block erase on `die` (the FTL forwards its GC
+  /// erases here). Pure bookkeeping — no time passes and no events are
+  /// scheduled — but it advances the die's wear counter and, when the
+  /// plan's wear model is active, opens the bursty post-erase error window.
+  void note_erase(std::size_t die);
+
   const NandGeometry& geometry() const { return geometry_; }
   const NandTiming& timing() const { return timing_; }
   const NandStats& stats() const { return stats_; }
   const FaultInjector& injector() const { return injector_; }
+
+  /// Per-die wear/fault telemetry (the wear-correlation tests key off the
+  /// spread between the most- and least-erased die).
+  std::uint64_t erase_count(std::size_t die) const { return die_erases_[die]; }
+  std::uint64_t reads_on_die(std::size_t die) const { return die_reads_[die]; }
+  std::uint64_t retries_on_die(std::size_t die) const {
+    return die_retries_[die];
+  }
 
   /// Earliest time the given die could start a new array operation.
   SimTime die_free_at(const PhysPageAddr& addr) const;
@@ -121,6 +135,10 @@ class NandArray {
  private:
   std::size_t die_index(const PhysPageAddr& addr) const;
   void check_addr(const PhysPageAddr& addr) const;
+  /// Per-pass read error probability for a read on `die` right now: the
+  /// flat plan rate plus the die's erase-proportional wear contribution
+  /// (boosted inside the post-erase burst window, which this call ticks).
+  double effective_read_error_rate(std::size_t die);
 
   Simulator& sim_;
   NandGeometry geometry_;
@@ -130,6 +148,10 @@ class NandArray {
   NandStats stats_;
   std::vector<SimTime> die_busy_until_;
   std::vector<SimTime> channel_busy_until_;
+  std::vector<std::uint64_t> die_erases_;
+  std::vector<std::uint64_t> die_reads_;
+  std::vector<std::uint64_t> die_retries_;
+  std::vector<std::uint32_t> die_burst_left_;  // post-erase window countdown
 };
 
 }  // namespace pipette

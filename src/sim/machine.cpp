@@ -25,6 +25,8 @@ namespace {
 MachineConfig shaped(const MachineConfig& in) {
   MachineConfig config = in;
   config.ssd.interconnect = config.interconnect;
+  if (config.mapping_unit != 0)
+    config.ssd.mapping_unit = config.mapping_unit;
   // Non-Pipette machines need no FGRC space in the HMB; shrink it so the
   // host-memory footprint comparison stays honest.
   if (config.kind != PathKind::kPipette &&
@@ -156,6 +158,28 @@ void Machine::collect_metrics(MetricsRegistry& out) {
   out.set("nand.read_retries", ns.read_retries);
   out.set("nand.read_failures", ns.read_failures);
   out.set("nand.bytes_transferred", ns.bytes_transferred);
+
+  // FTL write/GC/wear family. Gated on write activity so the registries of
+  // read-only runs (the golden cells among them) stay bit-identical to
+  // history — same pattern as the lmb.* gating below.
+  const FtlStats& ftls = ssd_->ftl().stats();
+  if (ftls.writes_mapped > 0 || ftls.gc_collections > 0) {
+    out.set("ftl.mapping_unit", ssd_->ftl().mapping_unit());
+    out.set("ftl.writes_mapped", ftls.writes_mapped);
+    out.set("ftl.mus_written", ftls.mus_written);
+    out.set("ftl.invalidated_mus", ftls.invalidated_mus);
+    out.set("ftl.invalidated_pages", ftls.invalidated_pages);
+    out.set("ftl.pages_programmed", ftls.pages_programmed);
+    out.set("ftl.gc_collections", ftls.gc_collections);
+    out.set("ftl.gc_page_reads", ftls.gc_relocated_pages);
+    out.set("ftl.gc_relocated_mus", ftls.gc_relocated_mus);
+    out.set("ftl.wear_blocks_erased", ftls.blocks_erased);
+    out.set("ftl.wear_max_die_erases", ftls.max_die_erases);
+    out.set("ftl.wear_min_die_erases", ftls.min_die_erases);
+    // Fixed-point so the registry stays integral and exactly comparable.
+    out.set("ftl.write_amp_x1000",
+            static_cast<std::uint64_t>(ftls.write_amplification() * 1000.0));
+  }
 
   out.set("pcie.dma_transfers", ssd_->pcie().dma_transfers());
   out.set("pcie.dma_bytes", ssd_->pcie().dma_bytes());

@@ -47,6 +47,10 @@ struct MachineConfig {
   PathKind kind = PathKind::kBlockIo;
   ControllerConfig ssd;
   HostTiming host;
+  /// FTL mapping unit in bytes (512 <= MU <= page, must divide the page).
+  /// 0 keeps the device's page-granular mapping — the golden-pinned
+  /// default; shaped() forwards a nonzero value to ControllerConfig.
+  std::uint32_t mapping_unit = 0;
   /// Link carrying fine-grained fills: PCIe DMA into host DRAM (kHmb, the
   /// paper's baseline) or a CXL-linked memory buffer (kLmb). With kLmb the
   /// buffer lives on the CXL device, so its data-area bytes stop stealing

@@ -64,7 +64,7 @@ SsdController::SsdController(Simulator& sim, const ControllerConfig& config)
       content_(config.content_seed),
       nand_(sim, config.geometry, config.nand_timing, config.faults.nand,
             config.faults.seed),
-      ftl_(config.geometry, resolve_lba_count(config)),
+      ftl_(config.geometry, resolve_lba_count(config), config.mapping_unit),
       pcie_(sim, config.pcie, config.lmb),
       hmb_(config.hmb),
       cmb_(config.cmb_slots),
@@ -176,6 +176,7 @@ std::uint32_t SsdController::acquire_stage_slot(StageCallback ready) {
   }
   stage_slots_[slot].ready = std::move(ready);
   stage_slots_[slot].ok = true;
+  stage_slots_[slot].pending = 1;
   return slot;
 }
 
@@ -191,22 +192,49 @@ void SsdController::stage_page(Lba lba, StageCallback ready,
     stats_.read_buffer.record(false);
   }
   ftl_.note_read();
-  const PhysPageAddr addr = ftl_.lookup(lba);
-  // Park `ready` (itself a full-size callback) in a pooled slot so the NAND
-  // completion closure does not nest one callback inside another.
+  if (ftl_.slots_per_page() == 1) {
+    const PhysPageAddr addr = ftl_.lookup(lba);
+    // Park `ready` (itself a full-size callback) in a pooled slot so the
+    // NAND completion closure does not nest one callback inside another.
+    const std::uint32_t slot = acquire_stage_slot(std::move(ready));
+    const NandReadOutcome outcome =
+        nand_.read_page(addr, [this, lba, slot, use_buffer]() {
+          StageSlot& parked = stage_slots_[slot];
+          const bool ok = parked.ok;
+          if (ok && use_buffer) read_buffer_.insert(lba, 0);
+          StageCallback ready = std::move(parked.ready);
+          stage_free_.push_back(slot);
+          ready(ok);
+        });
+    if (outcome.failed) {
+      stage_slots_[slot].ok = false;
+      ++stats_.media_errors;
+    }
+    return;
+  }
+  // MU-mapped device: partial writes may have scattered the LBA's MUs over
+  // several physical pages. Sense every holder (each transferring only its
+  // MUs' bytes) and fan the reads into the parked slot; the page counts as
+  // staged when the last one lands.
+  ftl_.lookup_pages(lba, stage_pages_scratch_);
   const std::uint32_t slot = acquire_stage_slot(std::move(ready));
-  const NandReadOutcome outcome =
-      nand_.read_page(addr, [this, lba, slot, use_buffer]() {
-        StageSlot& parked = stage_slots_[slot];
-        const bool ok = parked.ok;
-        if (ok && use_buffer) read_buffer_.insert(lba, 0);
-        StageCallback ready = std::move(parked.ready);
-        stage_free_.push_back(slot);
-        ready(ok);
-      });
-  if (outcome.failed) {
-    stage_slots_[slot].ok = false;
-    ++stats_.media_errors;
+  stage_slots_[slot].pending =
+      static_cast<std::uint32_t>(stage_pages_scratch_.size());
+  for (const MuPageRead& r : stage_pages_scratch_) {
+    const NandReadOutcome outcome =
+        nand_.read_page(r.addr, [this, lba, slot, use_buffer]() {
+          StageSlot& parked = stage_slots_[slot];
+          if (--parked.pending > 0) return;
+          const bool ok = parked.ok;
+          if (ok && use_buffer) read_buffer_.insert(lba, 0);
+          StageCallback ready = std::move(parked.ready);
+          stage_free_.push_back(slot);
+          ready(ok);
+        }, r.bytes);
+    if (outcome.failed) {
+      stage_slots_[slot].ok = false;
+      ++stats_.media_errors;
+    }
   }
 }
 
@@ -289,14 +317,24 @@ void SsdController::do_block_write(Command cmd, Completion done) {
     read_buffer_.erase(cmd.lba + i);
   }
   BlockJob* job = acquire_block_job(std::move(cmd), std::move(done));
-  job->remaining = job->cmd.nlb;
+  // With MU < page a write seals 0..2 pages (the rest of its MUs wait in
+  // the controller write cache for later merges), so the fan-in counts
+  // issued programs plus an issuance guard; the command completes when the
+  // last program lands — or immediately at the write-cache ack if nothing
+  // sealed. With MU = page every write seals exactly one page and this is
+  // the classic one-program-per-LBA flow.
+  job->remaining = 1;
   for (std::uint32_t i = 0; i < job->cmd.nlb; ++i) {
-    const PhysPageAddr addr = ftl_.update(job->cmd.lba + i);
+    ftl_.update(job->cmd.lba + i);
     perform_gc_moves();
-    nand_.program_page(addr, [this, job]() {
-      if (--job->remaining == 0) finish_block_job(job, CmdStatus::kOk);
+    issue_host_programs([this, job](const PageProgram& p) {
+      ++job->remaining;
+      nand_.program_page(p.addr, [this, job]() {
+        if (--job->remaining == 0) finish_block_job(job, CmdStatus::kOk);
+      });
     });
   }
+  if (--job->remaining == 0) finish_block_job(job, CmdStatus::kOk);
 }
 
 void SsdController::perform_gc_moves() {
@@ -307,6 +345,38 @@ void SsdController::perform_gc_moves() {
     nand_.read_page(move.from, [this, move]() {
       nand_.program_page(move.to, [] {});
     });
+  }
+  if (!ftl_.has_pending_gc_work()) return;
+  // Erases take no simulated time, but they advance the per-die wear
+  // counters that drive the erase-correlated NAND fault window.
+  ftl_.drain_erased_dies(erase_scratch_);
+  for (const std::uint32_t die : erase_scratch_) nand_.note_erase(die);
+  // Decoupled GC episode (MU < page): fill the GC page buffer with each
+  // victim page's live MUs (only those bytes cross the channel), and once
+  // every read has landed issue the merged re-pack programs. Sealed GC
+  // pages can only exist alongside at least one buffer read, so programs
+  // never wait here with an empty read set.
+  ftl_.drain_gc_page_reads(gc_read_scratch_);
+  if (gc_read_scratch_.empty()) return;
+  std::uint32_t bi;
+  if (!gc_batch_free_.empty()) {
+    bi = gc_batch_free_.back();
+    gc_batch_free_.pop_back();
+  } else {
+    bi = static_cast<std::uint32_t>(gc_batches_.size());
+    gc_batches_.emplace_back();
+  }
+  GcBatch& batch = gc_batches_[bi];
+  ftl_.drain_gc_page_programs(batch.programs);
+  batch.reads_pending = static_cast<std::uint32_t>(gc_read_scratch_.size());
+  for (const MuPageRead& r : gc_read_scratch_) {
+    nand_.read_page(r.addr, [this, bi]() {
+      GcBatch& b = gc_batches_[bi];
+      if (--b.reads_pending > 0) return;
+      for (const PageProgram& p : b.programs) nand_.program_page(p.addr, [] {});
+      b.programs.clear();
+      gc_batch_free_.push_back(bi);
+    }, r.bytes);
   }
 }
 
@@ -508,12 +578,25 @@ void SsdController::do_fg_write(Command cmd, Completion done) {
                                job->cmd.write_data.data() + data_off,
                                r->len));
           }
-          const PhysPageAddr addr = ftl_.update(job->by_page[gi].lba);
+          // Only the MU slots the ranges touch are rewritten; the LBA's
+          // other MUs keep their current locations (with MU = page the
+          // mask is always the full page).
+          const std::uint32_t mu = ftl_.mapping_unit();
+          std::uint32_t slot_mask = 0;
+          for (const auto& [r, unused] : job->by_page[gi].ranges) {
+            const std::uint32_t first = r->offset / mu;
+            const std::uint32_t last = (r->offset + r->len - 1) / mu;
+            for (std::uint32_t s = first; s <= last; ++s)
+              slot_mask |= 1u << s;
+          }
+          ftl_.write_slots(job->by_page[gi].lba, slot_mask);
           perform_gc_moves();
           // Modern SSDs acknowledge writes once the data sits in the
-          // capacitor-backed controller write cache; the program itself
-          // proceeds in the background (it still occupies the die/channel).
-          nand_.program_page(addr, [] {});
+          // capacitor-backed controller write cache; sealed pages program
+          // in the background (they still occupy the die/channel).
+          issue_host_programs([this](const PageProgram& p) {
+            nand_.program_page(p.addr, [] {});
+          });
         }
         if (--job->pages_pending == 0) {
           recycle_fg_ranges(std::move(job->cmd.ranges));

@@ -93,6 +93,9 @@ struct ControllerConfig {
   PcieTiming pcie;
   ControllerTiming timing;
   std::uint64_t lba_count = 0;             // 0 = max addressable
+  /// FTL mapping unit in bytes (512 <= MU <= page, must divide the page);
+  /// 0 = page-granular mapping (the legacy, golden-pinned behaviour).
+  std::uint32_t mapping_unit = 0;
   std::uint64_t read_buffer_bytes = 1 * kGiB;  // device DRAM page buffer
   // Whether the block-read flow consults the device DRAM buffer. A standard
   // NVMe data path does not cache payload in controller DRAM (it holds FTL
@@ -191,8 +194,16 @@ class SsdController {
   /// is always sensed from NAND and not retained.
   void stage_page(Lba lba, StageCallback ready, bool use_buffer = true);
 
-  /// Execute any relocations the FTL's GC queued (background NAND work).
+  /// Execute any relocations the FTL's GC queued (background NAND work)
+  /// and forward its erases to the NAND wear model. With MU < page the
+  /// relocations arrive decoupled: per-page buffer reads (live MUs only)
+  /// fan into a batch that then issues the merged GC programs.
   void perform_gc_moves();
+
+  /// Drain the FTL's sealed host pages into NAND programs. `on_program`
+  /// runs at each program's completion (fire-and-forget paths pass {}).
+  template <typename Fn>
+  void issue_host_programs(Fn&& on_program);
 
   /// Fine-grained fill transfer on the configured interconnect: PCIe DMA
   /// into the HMB, or the dedicated CXL link into the LMB.
@@ -253,13 +264,38 @@ class SsdController {
 
   // Parked `ready` continuations of stage_page() NAND reads. The slot also
   // carries the read's verdict: read_page() decides success at submission,
-  // the parked continuation observes it at completion.
+  // the parked continuation observes it at completion. With MU < page an
+  // LBA's mapping units may sit on several physical pages, so the slot
+  // fans in `pending` NAND reads before running `ready`.
   struct StageSlot {
     StageCallback ready;
     bool ok = true;
+    std::uint32_t pending = 1;
   };
   std::vector<StageSlot> stage_slots_;
   std::vector<std::uint32_t> stage_free_;
+
+  // One in-flight decoupled GC episode (MU < page): the page-buffer reads
+  // fan in, then the merged programs issue. Pooled like the job records.
+  struct GcBatch {
+    std::uint32_t reads_pending = 0;
+    std::vector<PageProgram> programs;
+  };
+  std::vector<GcBatch> gc_batches_;
+  std::vector<std::uint32_t> gc_batch_free_;
+
+  // Drain scratch (capacity retained across calls; never held across a
+  // re-entrant controller call).
+  std::vector<PageProgram> program_scratch_;
+  std::vector<MuPageRead> gc_read_scratch_;
+  std::vector<std::uint32_t> erase_scratch_;
+  std::vector<MuPageRead> stage_pages_scratch_;
 };
+
+template <typename Fn>
+void SsdController::issue_host_programs(Fn&& on_program) {
+  ftl_.drain_host_programs(program_scratch_);
+  for (const PageProgram& p : program_scratch_) on_program(p);
+}
 
 }  // namespace pipette

@@ -37,6 +37,7 @@ SyntheticConfig table1_workload(char which, Distribution dist,
 SyntheticWorkload::SyntheticWorkload(const SyntheticConfig& config)
     : config_(config), rng_(config.seed) {
   PIPETTE_ASSERT(config.small_ratio >= 0.0 && config.small_ratio <= 1.0);
+  PIPETTE_ASSERT(config.write_ratio >= 0.0 && config.write_ratio <= 1.0);
   PIPETTE_ASSERT(config.small_size > 0 && config.large_size > 0);
   files_.push_back({"synthetic.dat", config.file_size});
   small_slots_ = config.file_size / config.small_size;
@@ -60,7 +61,11 @@ Request SyntheticWorkload::next() {
     // Rank == slot: the hot head is clustered at the start of the file.
     slot = small ? small_zipf_->sample(rng_) : large_zipf_->sample(rng_);
   }
-  return {0, slot * size, size, false};
+  // The write draw comes last and is skipped entirely at ratio 0, keeping
+  // read-only request streams byte-identical to the historical generator.
+  const bool is_write =
+      config_.write_ratio > 0.0 && rng_.next_bool(config_.write_ratio);
+  return {0, slot * size, size, is_write};
 }
 
 std::string SyntheticWorkload::name() const {

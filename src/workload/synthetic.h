@@ -28,6 +28,10 @@ struct SyntheticConfig {
   Distribution dist = Distribution::kUniform;
   double zipf_alpha = 0.8;
   std::uint64_t seed = 42;
+  /// Fraction of requests that are writes (same size/offset population as
+  /// the reads). Exactly 0.0 draws no extra randomness per request, so
+  /// read-only streams are bit-identical to the pre-write-mix generator.
+  double write_ratio = 0.0;
 };
 
 /// Table 1's named mixes: A=100/0 large/small ... E=0/100.

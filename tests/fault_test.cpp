@@ -12,6 +12,7 @@
 
 #include "common/inline_function.h"
 #include "fleet/fleet.h"
+#include "nand/nand.h"
 #include "sim/experiment.h"
 #include "workload/synthetic.h"
 
@@ -152,6 +153,95 @@ TEST(DeviceFaults, FaultPathsStayAllocationFree) {
   (void)run_experiment_on(machine, w, {400, 200});
   EXPECT_EQ(inline_function_heap_allocations() - heap0, 0u)
       << "a fault-path closure outgrew the InlineFunction inline buffer";
+}
+
+// --- Wear-correlated media errors ---------------------------------------
+
+// NandArray level: erases on one die raise that die's per-pass read error
+// probability; an untouched die with a zero flat rate draws nothing at all.
+TEST(WearFaults, ErasedDieRetriesMoreThanPristineDie) {
+  NandGeometry g;
+  g.channels = 4;
+  g.ways_per_channel = 2;
+  g.planes_per_die = 1;
+  g.blocks_per_plane = 4;
+  g.pages_per_block = 16;
+  Simulator sim;
+  NandFaultPlan plan;
+  plan.wear_error_per_erase = 2e-3;  // 40 erases -> 8% per sensing pass
+  NandArray nand(sim, g, NandTiming{}, plan);
+
+  for (int i = 0; i < 40; ++i) nand.note_erase(0);
+  EXPECT_EQ(nand.erase_count(0), 40u);
+  EXPECT_EQ(nand.erase_count(1), 0u);
+
+  // Equal read traffic on the worn die ({ch0, way0}) and a pristine one
+  // ({ch0, way1}): only the worn die's wear term can fire.
+  for (std::uint64_t i = 0; i < 400; ++i) {
+    nand.read_page({0, 0, i % 64}, [] {});
+    nand.read_page({0, 1, i % 64}, [] {});
+  }
+  sim.run_all();
+  EXPECT_EQ(nand.reads_on_die(0), 400u);
+  EXPECT_EQ(nand.reads_on_die(1), 400u);
+  EXPECT_GT(nand.retries_on_die(0), 0u);
+  EXPECT_EQ(nand.retries_on_die(1), 0u);
+  EXPECT_GT(nand.retries_on_die(0), nand.retries_on_die(1));
+}
+
+// A GC-heavy machine whose FTL erases feed the wear model: retries appear
+// under a nonzero wear rate and reproduce bit for bit; the zero-rate twin
+// is wear-free however the burst knobs and the injector seed are set.
+MachineConfig wear_machine(double wear_rate) {
+  MachineConfig m = default_machine(PathKind::kPipette);
+  // Tiny drive at 50% utilisation so a short write-heavy run reaches GC:
+  // 4ch x 2way x 1pl x 8blk x 16pg = 1024 pages (4 MiB).
+  m.ssd.geometry.channels = 4;
+  m.ssd.geometry.ways_per_channel = 2;
+  m.ssd.geometry.planes_per_die = 1;
+  m.ssd.geometry.blocks_per_plane = 8;
+  m.ssd.geometry.pages_per_block = 16;
+  m.ssd.lba_count = 512;
+  m.ssd.read_buffer_bytes = 2 * kMiB;
+  m.page_cache_bytes = 256 * 1024;  // reads must reach the device
+  m.pipette.fine_writes = true;
+  m.mapping_unit = 512;
+  m.ssd.faults.nand.wear_error_per_erase = wear_rate;
+  return m;
+}
+
+RunResult run_wear_cell(const MachineConfig& m, const RunConfig& rc) {
+  SyntheticConfig sc;
+  sc.file_size = (512 - 64) * 4096;  // the FS reserves 64 metadata LBAs
+  sc.small_ratio = 1.0;
+  sc.small_size = 512;
+  sc.write_ratio = 0.5;
+  sc.seed = 42;
+  SyntheticWorkload w(sc);
+  return run_experiment(m, w, rc);
+}
+
+TEST(WearFaults, GcErasesInjectRetriesAndReproduce) {
+  const RunConfig rc{3000, 3000};
+  const MachineConfig worn = wear_machine(2e-2);
+  const RunResult r = run_wear_cell(worn, rc);
+  EXPECT_GT(r.retries, 0u);
+  EXPECT_EQ(r.Deterministic(), run_wear_cell(worn, rc).Deterministic());
+
+  // Same machine, wear disabled: the identical run with zero retries.
+  const RunResult clean = run_wear_cell(wear_machine(0.0), rc);
+  EXPECT_EQ(clean.retries, 0u);
+}
+
+TEST(WearFaults, ZeroWearRateSeedAndBurstKnobsAreInert) {
+  const RunConfig rc{1500, 1500};
+  const MachineConfig base = wear_machine(0.0);
+  MachineConfig tweaked = base;
+  tweaked.ssd.faults.seed = 0xdecafbadull;
+  tweaked.ssd.faults.nand.wear_burst_boost = 99.0;
+  tweaked.ssd.faults.nand.wear_burst_reads = 1u << 20;
+  EXPECT_EQ(run_wear_cell(base, rc).Deterministic(),
+            run_wear_cell(tweaked, rc).Deterministic());
 }
 
 // --- Cold restart -------------------------------------------------------

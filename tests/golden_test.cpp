@@ -49,10 +49,15 @@ std::string fmt(std::uint64_t v) {
   return buf;
 }
 
-std::string render_golden() {
+// `write_ratio` 0 renders the historic read-only matrix; nonzero renders
+// the write-mix matrix (run at an explicit page-sized mapping unit, pinning
+// that MU = 4096 spelled out stays the same device as the page-granular
+// default — see golden_mu_trace.json).
+std::string render_golden(const char* workload_name, double write_ratio,
+                          std::uint32_t mapping_unit) {
   std::ostringstream out;
   out << "{\n";
-  out << "  \"workload\": \"table1-C-uniform\",\n";
+  out << "  \"workload\": \"" << workload_name << "\",\n";
   out << "  \"file_mib\": " << kFileMiB << ",\n";
   out << "  \"seed\": " << kSeed << ",\n";
   out << "  \"warmup\": " << kWarmup << ",\n";
@@ -62,9 +67,11 @@ std::string render_golden() {
   for (PathKind kind : kAllPaths) {
     SyntheticConfig sc = table1_workload('C', Distribution::kUniform, kSeed);
     sc.file_size = kFileMiB * kMiB;
+    sc.write_ratio = write_ratio;
     SyntheticWorkload workload(sc);
-    const RunResult r =
-        run_experiment(default_machine(kind), workload, {kRequests, kWarmup});
+    MachineConfig machine = default_machine(kind);
+    machine.mapping_unit = mapping_unit;
+    const RunResult r = run_experiment(machine, workload, {kRequests, kWarmup});
     if (!first) out << ",\n";
     first = false;
     out << "    {\n";
@@ -97,19 +104,17 @@ std::vector<std::string> lines_of(const std::string& text) {
   return lines;
 }
 
-TEST(GoldenTrace, MatchesCheckedInFixture) {
-  const std::string actual = render_golden();
-
+void check_against_fixture(const std::string& actual, const char* path) {
   if (std::getenv("PIPETTE_UPDATE_GOLDEN") != nullptr) {
-    std::ofstream out(GOLDEN_TRACE_PATH);
-    ASSERT_TRUE(out) << "cannot write " << GOLDEN_TRACE_PATH;
+    std::ofstream out(path);
+    ASSERT_TRUE(out) << "cannot write " << path;
     out << actual;
     ASSERT_TRUE(static_cast<bool>(out));
-    GTEST_SKIP() << "golden trace regenerated at " << GOLDEN_TRACE_PATH;
+    GTEST_SKIP() << "golden trace regenerated at " << path;
   }
 
-  std::ifstream in(GOLDEN_TRACE_PATH);
-  ASSERT_TRUE(in) << "missing fixture " << GOLDEN_TRACE_PATH
+  std::ifstream in(path);
+  ASSERT_TRUE(in) << "missing fixture " << path
                   << "; regenerate with PIPETTE_UPDATE_GOLDEN=1";
   std::ostringstream buf;
   buf << in.rdbuf();
@@ -124,10 +129,26 @@ TEST(GoldenTrace, MatchesCheckedInFixture) {
          "if intentional";
   for (std::size_t i = 0; i < want.size(); ++i) {
     EXPECT_EQ(want[i], got[i])
-        << "golden trace drift at " << GOLDEN_TRACE_PATH << ":" << (i + 1)
+        << "golden trace drift at " << path << ":" << (i + 1)
         << " — if this change is intentional, regenerate with "
            "PIPETTE_UPDATE_GOLDEN=1 and call it out in review";
   }
+}
+
+TEST(GoldenTrace, MatchesCheckedInFixture) {
+  check_against_fixture(render_golden("table1-C-uniform", 0.0, 0),
+                        GOLDEN_TRACE_PATH);
+}
+
+// Write-mix twin at an explicitly spelled page-sized mapping unit: pins the
+// merged-write allocator, GC, and MU accounting on the write path against
+// drift. (That `mapping_unit = 4096` equals the page-granular default is
+// separately pinned by tests/ftl_test.cpp's differential sweep, so this
+// fixture pins both spellings at once.)
+TEST(GoldenTrace, WriteMixAtExplicitPageMuMatchesFixture) {
+  check_against_fixture(
+      render_golden("table1-C-uniform-wr20", 0.2, 4096),
+      GOLDEN_MU_TRACE_PATH);
 }
 
 }  // namespace
