@@ -1,5 +1,7 @@
 #include "faults/faults.h"
 
+#include "common/assert.h"
+
 namespace pipette {
 
 const char* to_string(DownShardPolicy policy) {
@@ -11,7 +13,8 @@ const char* to_string(DownShardPolicy policy) {
     case DownShardPolicy::kReroute:
       return "reroute";
   }
-  return "?";
+  PIPETTE_ASSERT_MSG(false, "unknown DownShardPolicy");
+  return "?";  // unreachable: the assert above aborts
 }
 
 bool FleetFaultPlan::any() const {
@@ -26,9 +29,22 @@ const ShardOutage* FleetFaultPlan::outage_for(std::size_t shard) const {
   return nullptr;
 }
 
+const ShardOutage* FleetFaultPlan::outage_for(std::size_t shard,
+                                              std::size_t replica) const {
+  for (const ShardOutage& o : outages)
+    if (o.shard == shard && o.replica == replica) return &o;
+  return nullptr;
+}
+
 bool FleetFaultPlan::shard_down_at(std::size_t shard,
                                    std::uint64_t master_index) const {
   const ShardOutage* o = outage_for(shard);
+  return o != nullptr && o->down_at(master_index);
+}
+
+bool FleetFaultPlan::replica_down_at(std::size_t shard, std::size_t replica,
+                                     std::uint64_t master_index) const {
+  const ShardOutage* o = outage_for(shard, replica);
   return o != nullptr && o->down_at(master_index);
 }
 

@@ -97,11 +97,14 @@ const char* to_string(DownShardPolicy policy);
 
 /// One shard's outage window, in master-stream request indices (the fleet's
 /// deterministic clock): the shard is down for requests with index in
-/// [fail_at, recover_at) and comes back with cold host caches.
+/// [fail_at, recover_at) and comes back with cold host caches. Under a
+/// replicated fleet `replica` selects which copy of the group dies (0 = the
+/// primary); replica-free fleets require it to stay 0.
 struct ShardOutage {
   std::size_t shard = 0;
   std::uint64_t fail_at = 0;
   std::uint64_t recover_at = 0;  // == fail_at: no outage
+  std::size_t replica = 0;
 
   bool active() const { return recover_at > fail_at; }
   bool down_at(std::uint64_t master_index) const {
@@ -120,8 +123,15 @@ struct FleetFaultPlan {
   std::uint32_t retry_attempts = 3;
 
   bool any() const;
+  /// First outage scheduled for `shard`, any replica (the replica-free
+  /// fleet's lookup, where at most one copy of each shard exists).
   const ShardOutage* outage_for(std::size_t shard) const;
+  /// Outage scheduled for one specific copy of a replicated group.
+  const ShardOutage* outage_for(std::size_t shard, std::size_t replica) const;
   bool shard_down_at(std::size_t shard, std::uint64_t master_index) const;
+  /// Whether replica `replica` of group `shard` is down at `master_index`.
+  bool replica_down_at(std::size_t shard, std::size_t replica,
+                       std::uint64_t master_index) const;
   /// Total wait of the full backoff ladder: sum of base << k over attempts.
   SimDuration total_retry_backoff() const;
 };

@@ -19,7 +19,8 @@ const char* to_string(SubstreamMode mode) {
     case SubstreamMode::kIndependent:
       return "independent";
   }
-  return "?";
+  PIPETTE_ASSERT_MSG(false, "unknown SubstreamMode");
+  return "?";  // unreachable: the assert above aborts
 }
 
 bool deterministic_equal(const FleetResult& a, const FleetResult& b) {
@@ -66,9 +67,28 @@ FleetRunner::FleetRunner(FleetConfig config,
                          config_.substream == SubstreamMode::kPartitioned,
                      "outage schedules are keyed on master-stream indices, "
                      "which only exist in partitioned mode");
+  const ReplicationConfig& repl = config_.replication;
+  PIPETTE_ASSERT_MSG(repl.replicas >= 1, "a group needs at least one copy");
+  PIPETTE_ASSERT_MSG(!repl.any() ||
+                         config_.substream == SubstreamMode::kPartitioned,
+                     "replica groups are keyed on the master-stream clock, "
+                     "which only exists in partitioned mode");
+  PIPETTE_ASSERT_MSG(repl.shadow_read_fraction >= 0.0 &&
+                         repl.shadow_read_fraction <= 1.0,
+                     "shadow_read_fraction is a probability");
+  if (repl.read_policy == ReadPolicy::kQuorum) {
+    PIPETTE_ASSERT_MSG(repl.quorum_k >= 1 && repl.quorum_k <= repl.replicas,
+                       "quorum_k must be in [1, replicas]");
+  }
+  if (repl.migration.active()) {
+    PIPETTE_ASSERT_MSG(repl.migration.target < config_.shards,
+                       "migration target is not a group");
+  }
   for (const ShardOutage& o : config_.faults.outages) {
     PIPETTE_ASSERT_MSG(o.shard < config_.shards, "outage for unknown shard");
     PIPETTE_ASSERT_MSG(o.recover_at >= o.fail_at, "outage recovers in the past");
+    PIPETTE_ASSERT_MSG(o.replica < repl.replicas,
+                       "outage for a replica the fleet does not have");
   }
 }
 
@@ -84,6 +104,7 @@ MachineConfig FleetRunner::shard_machine(std::size_t shard) const {
 }
 
 FleetResult FleetRunner::run(const RunConfig& run, unsigned jobs) const {
+  if (config_.replication.any()) return run_replicated(run, jobs);
   const auto host_t0 = std::chrono::steady_clock::now();
   const std::size_t shards = config_.shards;
   const bool partitioned = config_.substream == SubstreamMode::kPartitioned;
@@ -137,10 +158,29 @@ FleetResult FleetRunner::run(const RunConfig& run, unsigned jobs) const {
     Shard shard(s, shard_machine(s), sub.files());
 
     const ShardOutage* outage = faults.outage_for(s);
-    const bool intercept = outage != nullptr && outage->active() &&
-                           faults.policy != DownShardPolicy::kReroute;
-    if (!intercept) {
+    if (outage == nullptr || !outage->active()) {
       shard_results[s] = shard.run(sub, plans[s], RunHooks{}, &arena);
+      return;
+    }
+
+    if (faults.policy == DownShardPolicy::kReroute) {
+      // Normally a rerouted shard serves nothing during its own window (the
+      // filter sends its traffic to the failover target), so this hook never
+      // fires. The exception is a window where *every* shard is down:
+      // effective_shard() has nowhere to send the request and returns the
+      // owner, and without this guard the down shard would silently serve
+      // it. Reject it fail-fast instead — the window must show up as failed
+      // reads, not vanish into a healthy-looking histogram. No cold restart
+      // at recovery: reroute models a routing drain, the machine never
+      // stopped running (pinned by the golden fleet fixture).
+      RunHooks hooks;
+      hooks.on_request = [&](const Request& req, const RunHooks::IssueFn&) {
+        if (!outage->down_at(sub.last_master_index())) return false;
+        shard.machine().path().reject_request(req.is_write,
+                                              faults.fail_fast_latency);
+        return true;
+      };
+      shard_results[s] = shard.run(sub, plans[s], hooks, &arena);
       return;
     }
 
@@ -244,10 +284,14 @@ FleetResult FleetRunner::run(const RunConfig& run, unsigned jobs) const {
     }
     out.min_shard_requests = std::min(out.min_shard_requests, r.requests);
   }
+  // Percentile readouts only when the merged histogram has samples — a
+  // window (or whole run) where every shard was down merges an empty
+  // histogram, and the readouts must stay 0 rather than divide by zero.
   if (out.latency.count() > 0) {
     out.mean_latency_us = out.latency.mean_ns() / 1e3;
     out.p50_latency_us = to_us(out.latency.percentile(50));
     out.p99_latency_us = to_us(out.latency.percentile(99));
+    out.p999_latency_us = to_us(out.latency.percentile(99.9));
   }
   out.mean_shard_requests =
       shards == 0 ? 0.0
@@ -262,6 +306,273 @@ FleetResult FleetRunner::run(const RunConfig& run, unsigned jobs) const {
     out.hottest_shard_fgrc_hit_ratio =
         out.shard_results[out.hottest_shard].fgrc_hit_ratio;
   }
+  out.host_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - host_t0)
+          .count();
+  return out;
+}
+
+MachineConfig FleetRunner::replica_machine(std::size_t group,
+                                           std::size_t machine_id) const {
+  MachineConfig machine = config_.shard_machines.empty()
+                              ? config_.machine
+                              : config_.shard_machines[group];
+  // Same per-device fault-seed split as shard_machine(), keyed by the
+  // global machine id so every copy draws a private error trace. With R=1
+  // machine_id == group, so a one-copy fleet splits identically to the
+  // legacy path.
+  machine.ssd.faults.seed =
+      Rng::split_seed(machine.ssd.faults.seed, machine_id);
+  return machine;
+}
+
+FleetResult FleetRunner::run_replicated(const RunConfig& run,
+                                        unsigned jobs) const {
+  const auto host_t0 = std::chrono::steady_clock::now();
+  const ReplicationConfig& repl = config_.replication;
+  const FleetFaultPlan& faults = config_.faults;
+  const std::size_t groups = config_.shards;
+  const std::size_t replicas = repl.replicas;
+  const std::size_t machines = groups * replicas;
+
+  // Counting pre-pass: replay the master stream through a private router to
+  // size every machine's warmup/measured phases. The same router instance
+  // also yields the client-side tallies (attempted reads, failovers, quorum
+  // legs, migration progress) — pure RNG/arithmetic work, no simulation.
+  RunConfig zero_plan = run;
+  zero_plan.warmup = 0;
+  zero_plan.requests = 0;
+  std::vector<RunConfig> plans(machines, zero_plan);
+  ReplicaCounters counters;
+  std::uint64_t lost_writes = 0;
+  {
+    std::unique_ptr<Workload> master = make_workload_(seed_);
+    PIPETTE_ASSERT_MSG(master != nullptr, "fleet workload factory failed");
+    const Partitioner part(config_.partition, groups, master->files());
+    ReplicaRouter router(repl, faults, part, seed_, run.warmup);
+    std::vector<ReplicaAssignment> scratch;
+    for (std::uint64_t i = 0; i < run.warmup + run.requests; ++i) {
+      scratch.clear();
+      router.route(i, master->next(), scratch);
+      for (const ReplicaAssignment& a : scratch) {
+        if (a.index < run.warmup) {
+          ++plans[a.machine].warmup;
+        } else {
+          ++plans[a.machine].requests;
+        }
+      }
+    }
+    counters = router.counters();
+    lost_writes = router.pending_catchup_writes();
+  }
+
+  // Per-machine capture of client-relevant read latencies. A successful
+  // read's path-recorded latency equals the sim-time delta across the
+  // closed-loop issue, so composing from hook-captured deltas reproduces
+  // path-recorded values bit-for-bit. A device-failed read records nothing
+  // (detected via the failed_reads counter) and is charged to the client as
+  // a failure by the composition below.
+  struct ReadRecord {
+    std::uint64_t index;
+    SimDuration latency;
+    ReplicaRole role;
+  };
+  std::vector<std::vector<ReadRecord>> records(machines);
+  std::vector<RunResult> machine_results(machines);
+
+  auto run_machine = [&](std::size_t m, RunArena& arena) {
+    std::unique_ptr<Workload> master = make_workload_(seed_);
+    PIPETTE_ASSERT_MSG(master != nullptr, "fleet workload factory failed");
+    const Partitioner part(config_.partition, groups, master->files());
+    ReplicaWorkload sub(std::move(master), repl, faults, part,
+                        static_cast<std::uint32_t>(m), seed_, run.warmup);
+    const std::size_t group = m / replicas;
+    Shard shard(m, replica_machine(group, m), sub.files());
+    const ShardOutage* outage = faults.outage_for(group, m % replicas);
+    const bool has_outage = outage != nullptr && outage->active();
+    bool restarted = false;
+    std::vector<ReadRecord>& recs = records[m];
+    RunHooks hooks;
+    hooks.on_request = [&](const Request& req,
+                           const RunHooks::IssueFn& issue) {
+      const ReplicaAssignment& a = sub.last();
+      if (has_outage && !restarted && a.index >= outage->recover_at) {
+        // First assignment at or past recovery: the copy comes back with
+        // cold host caches; its catch-up writes are the next assignments.
+        restarted = true;
+        shard.machine().cold_restart();
+      }
+      const bool client_read =
+          !req.is_write && (a.role == ReplicaRole::kServe ||
+                            a.role == ReplicaRole::kFailoverServe ||
+                            a.role == ReplicaRole::kQuorumServe);
+      if (!client_read) {
+        issue(req);
+        return true;
+      }
+      const SimTime t0 = shard.machine().sim().now();
+      const std::uint64_t failed0 =
+          shard.machine().path().stats().failed_reads;
+      issue(req);
+      if (shard.machine().path().stats().failed_reads == failed0) {
+        recs.push_back({a.index, shard.machine().sim().now() - t0, a.role});
+      }
+      return true;
+    };
+    machine_results[m] = shard.run(sub, plans[m], hooks, &arena);
+  };
+
+  // Same pure pinning scheme as the legacy path — machine m runs on worker
+  // m % workers, each worker ascending over its machines with one arena —
+  // so jobs-1 and jobs-N replica runs stay bit-identical.
+  if (jobs == 0) jobs = ThreadPool::default_threads();
+  const std::size_t workers = std::min<std::size_t>(jobs, machines);
+  if (workers <= 1) {
+    RunArena arena;
+    for (std::size_t m = 0; m < machines; ++m) run_machine(m, arena);
+  } else {
+    ThreadPool pool(static_cast<unsigned>(workers));
+    std::vector<RunArena> arenas(workers);
+    std::vector<std::future<void>> pending;
+    pending.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      pending.push_back(
+          pool.submit([&run_machine, &arenas, w, workers, machines] {
+            for (std::size_t m = w; m < machines; m += workers)
+              run_machine(m, arenas[w]);
+          }));
+    }
+    for (std::future<void>& f : pending) f.get();  // rethrows task failures
+  }
+
+  // Client-side composition: serial, pure arithmetic over the captured
+  // records. Singleton serves (kServe / kFailoverServe) record directly —
+  // a failover serve additionally charges the fail-fast detection latency
+  // the client burned before re-issuing. Quorum legs are pooled, grouped by
+  // master index, and the client completes on the k'-th fastest where
+  // k' = min(quorum_k, legs that answered).
+  LatencyHistogram client;
+  std::uint64_t served = 0;
+  std::uint64_t failover_penalty_ns = 0;
+  std::vector<std::pair<std::uint64_t, SimDuration>> quorum_legs;
+  for (std::size_t m = 0; m < machines; ++m) {
+    for (const ReadRecord& r : records[m]) {
+      if (r.index < run.warmup) continue;
+      if (r.role == ReplicaRole::kQuorumServe) {
+        quorum_legs.push_back({r.index, r.latency});
+        continue;
+      }
+      SimDuration latency = r.latency;
+      if (r.role == ReplicaRole::kFailoverServe) {
+        latency += faults.fail_fast_latency;
+        failover_penalty_ns +=
+            static_cast<std::uint64_t>(faults.fail_fast_latency);
+      }
+      client.record(latency);
+      ++served;
+    }
+  }
+  if (!quorum_legs.empty()) {
+    std::sort(quorum_legs.begin(), quorum_legs.end());
+    for (std::size_t i = 0; i < quorum_legs.size();) {
+      std::size_t j = i;
+      while (j < quorum_legs.size() &&
+             quorum_legs[j].first == quorum_legs[i].first)
+        ++j;
+      const std::size_t kth =
+          std::min<std::size_t>(repl.quorum_k, j - i);
+      client.record(quorum_legs[i + kth - 1].second);
+      ++served;
+      i = j;
+    }
+  }
+
+  FleetResult out;
+  out.shard_results = std::move(machine_results);
+  out.requests = run.requests;  // the client's measured request count
+  out.measured_reads = served;
+  out.bytes_requested = counters.client_read_bytes;
+  out.failed_reads = counters.client_reads - served;
+  out.down_requests = counters.down_requests;
+  out.retries = counters.client_retries;
+  // Normalize extremes to representative bucket values (diff against an
+  // empty snapshot recomputes them from the buckets), matching the legacy
+  // path whose measured histograms all pass through diff(). Without this
+  // the R=1 parity would hold for every bucket yet fail on exact-vs-
+  // representative min/max.
+  out.latency = client.diff(LatencyHistogram{});
+
+  // Device-level sums over every machine: replication fan-out, shadow and
+  // warm reads all count here, which is exactly the point — availability
+  // costs device work, and these fields price it.
+  std::uint64_t device_requests = 0;
+  out.min_shard_requests = out.shard_results.empty() ? 0 : ~0ull;
+  for (std::size_t m = 0; m < out.shard_results.size(); ++m) {
+    const RunResult& r = out.shard_results[m];
+    device_requests += r.requests;
+    out.traffic_bytes += r.traffic_bytes;
+    out.events_executed += r.events_executed;
+    out.retries += r.retries;
+    out.degraded_reads += r.degraded_reads;
+    out.makespan = std::max(out.makespan, r.elapsed);
+    out.metrics.merge_add(r.metrics);
+    merge_stage_latency(out.stage_latency, r.stage_latency);
+    if (r.requests > out.max_shard_requests) {
+      out.max_shard_requests = r.requests;
+      out.hottest_shard = m;
+    }
+    out.min_shard_requests = std::min(out.min_shard_requests, r.requests);
+  }
+  if (out.latency.count() > 0) {
+    out.mean_latency_us = out.latency.mean_ns() / 1e3;
+    out.p50_latency_us = to_us(out.latency.percentile(50));
+    out.p99_latency_us = to_us(out.latency.percentile(99));
+    out.p999_latency_us = to_us(out.latency.percentile(99.9));
+  }
+  out.mean_shard_requests =
+      machines == 0 ? 0.0
+                    : static_cast<double>(device_requests) /
+                          static_cast<double>(machines);
+  out.load_imbalance =
+      out.mean_shard_requests == 0.0
+          ? 0.0
+          : static_cast<double>(out.max_shard_requests) /
+                out.mean_shard_requests;
+  if (!out.shard_results.empty()) {
+    out.hottest_shard_fgrc_hit_ratio =
+        out.shard_results[out.hottest_shard].fgrc_hit_ratio;
+  }
+
+  // Router-level counters join the merged machine registries under fleet.*
+  // so one MetricsRegistry tells the whole availability story.
+  out.metrics.set("fleet.machines", machines);
+  out.metrics.set("fleet.replica_groups", groups);
+  out.metrics.set("fleet.replicas_per_group", replicas);
+  out.metrics.set("fleet.replica_client_reads", counters.client_reads);
+  out.metrics.set("fleet.replica_served_reads", served);
+  out.metrics.set("fleet.replica_unserved_reads", counters.unserved_reads);
+  out.metrics.set("fleet.replica_failover_reads", counters.failover_reads);
+  out.metrics.set("fleet.replica_failover_penalty_ns", failover_penalty_ns);
+  out.metrics.set("fleet.replica_shadow_reads", counters.shadow_reads);
+  out.metrics.set("fleet.replica_stale_reads", counters.stale_reads);
+  out.metrics.set("fleet.replica_catchup_writes", counters.catchup_writes);
+  out.metrics.set("fleet.replica_lost_writes", lost_writes);
+  if (repl.read_policy == ReadPolicy::kQuorum) {
+    out.metrics.set("fleet.replica_quorum_reads", counters.quorum_reads);
+    out.metrics.set("fleet.replica_quorum_fanout", counters.quorum_fanout);
+    out.metrics.set("fleet.replica_quorum_shortfall",
+                    counters.quorum_shortfall);
+  }
+  if (repl.migration.active()) {
+    out.metrics.set("fleet.migration_dual_reads", counters.dual_reads);
+    out.metrics.set("fleet.migration_warm_reads", counters.warm_reads_done);
+    out.metrics.set("fleet.migration_dual_writes", counters.dual_writes);
+    out.metrics.set("fleet.migration_cut_over", counters.cut_over ? 1 : 0);
+    out.metrics.set("fleet.migration_cutover_index", counters.cutover_index);
+    out.metrics.set("fleet.migration_migrated_reads",
+                    counters.migrated_reads);
+  }
+
   out.host_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - host_t0)
           .count();

@@ -32,6 +32,7 @@
 
 #include "faults/faults.h"
 #include "fleet/partition.h"
+#include "fleet/replica.h"
 #include "sim/experiment.h"
 
 namespace pipette {
@@ -71,12 +72,30 @@ struct FleetConfig {
   /// machine.ssd.faults; the runner splits that plan's seed per shard so
   /// each device draws a private error trace.
   FleetFaultPlan faults;
+  /// Replica groups, read policy, shadow reads, and live resharding (see
+  /// fleet/replica.h). The default — R=1, kPrimaryOnly, no shadow reads, no
+  /// migration — is replication.any() == false and takes the legacy
+  /// single-copy code path, bit-identical to the pre-replica fleet
+  /// (golden-pinned). Anything else routes the run through the
+  /// ReplicaRouter; with `shards` groups of `replication.replicas` copies,
+  /// machine ids are group * R + replica and shard_results holds one entry
+  /// per machine. Requires kPartitioned mode (the router is keyed on the
+  /// master-stream clock).
+  ReplicationConfig replication;
 };
 
 struct FleetResult {
-  std::vector<RunResult> shard_results;  // one per shard, in shard order
+  /// One per shard, in shard order — or, under replication, one per
+  /// machine in machine-id order (group * R + replica).
+  std::vector<RunResult> shard_results;
 
-  // Fleet-wide totals over the measured phase (sums across shards).
+  // Fleet-wide totals over the measured phase (sums across shards). Under
+  // replication the client-facing fields (requests, measured_reads,
+  // bytes_requested, latency and its percentiles, failed_reads) describe
+  // the *client's* view composed by the router — one value per master
+  // request, quorum legs joined on the k-th fastest — while traffic_bytes,
+  // events_executed and the load-imbalance block sum the device-level work
+  // of every machine (replicated writes, shadow/warm reads included).
   std::uint64_t requests = 0;
   std::uint64_t measured_reads = 0;
   std::uint64_t bytes_requested = 0;
@@ -105,6 +124,9 @@ struct FleetResult {
   double mean_latency_us = 0.0;
   double p50_latency_us = 0.0;
   double p99_latency_us = 0.0;
+  /// The failover headline number: bounded p999 under a replica loss is
+  /// what bench/fleet_failover demonstrates.
+  double p999_latency_us = 0.0;
 
   /// Fleet-wide component metrics: per-shard registries merged by key-wise
   /// sum. Always collected (see RunResult::metrics), so it participates in
@@ -159,9 +181,10 @@ struct FleetResult {
     return std::tie(requests, measured_reads, bytes_requested, traffic_bytes,
                     events_executed, retries, failed_reads, degraded_reads,
                     down_requests, makespan, latency, mean_latency_us,
-                    p50_latency_us, p99_latency_us, max_shard_requests,
-                    min_shard_requests, mean_shard_requests, load_imbalance,
-                    hottest_shard, hottest_shard_fgrc_hit_ratio, metrics);
+                    p50_latency_us, p99_latency_us, p999_latency_us,
+                    max_shard_requests, min_shard_requests,
+                    mean_shard_requests, load_imbalance, hottest_shard,
+                    hottest_shard_fgrc_hit_ratio, metrics);
   }
 };
 
@@ -214,6 +237,13 @@ class FleetRunner {
 
  private:
   MachineConfig shard_machine(std::size_t shard) const;
+  MachineConfig replica_machine(std::size_t group,
+                                std::size_t machine_id) const;
+  /// The replicated run path: groups * R machines driven by ReplicaWorkload
+  /// filters, per-request client latencies captured through RunHooks and
+  /// composed (quorum join, failover penalty) into the client-facing
+  /// aggregates. Taken iff config.replication.any().
+  FleetResult run_replicated(const RunConfig& run, unsigned jobs) const;
 
   FleetConfig config_;
   SeededWorkloadFactory make_workload_;

@@ -12,7 +12,8 @@ const char* to_string(PartitionScheme scheme) {
     case PartitionScheme::kRange:
       return "range";
   }
-  return "?";
+  PIPETTE_ASSERT_MSG(false, "unknown PartitionScheme");
+  return "?";  // unreachable: the assert above aborts
 }
 
 Partitioner::Partitioner(PartitionScheme scheme, std::size_t shards,

@@ -29,6 +29,7 @@ struct TimelineConfig {
 struct TimeSample {
   SimDuration t = 0;  // sim time since measurement start
   std::uint64_t reads = 0;
+  std::uint64_t writes = 0;  // replicated/dual writes show up here
   std::uint64_t traffic_bytes = 0;
   double page_cache_hit_ratio = 0.0;
   double fgrc_hit_ratio = 0.0;

@@ -73,6 +73,7 @@ RunResult run_experiment_on(Machine& machine, Workload& workload,
   const std::uint64_t traffic0 = machine.io_traffic_bytes();
   const SimTime t0 = machine.sim().now();
   const std::uint64_t reads0 = machine.path().stats().reads;
+  const std::uint64_t writes0 = machine.path().stats().writes;
   const std::uint64_t bytes0 = machine.path().stats().bytes_requested;
   const std::uint64_t failed0 = machine.path().stats().failed_reads;
   const std::uint64_t degraded0 = machine.path().stats().degraded_reads;
@@ -107,6 +108,7 @@ RunResult run_experiment_on(Machine& machine, Workload& workload,
     if (sampler.due(machine.sim().now())) {
       TimeSample sample;
       sample.reads = machine.path().stats().reads - reads0;
+      sample.writes = machine.path().stats().writes - writes0;
       sample.traffic_bytes = machine.io_traffic_bytes() - traffic0;
       if (PageCache* pc = machine.page_cache())
         sample.page_cache_hit_ratio = hit_ratio_since(pc->stats().lookups, pc0);

@@ -380,5 +380,142 @@ TEST(FleetFaults, ZeroRequestRunMergesClean) {
   EXPECT_EQ(r.mean_latency_us, 0.0);
 }
 
+// --- effective_shard() -------------------------------------------------
+
+// The pre-pass and every shard's stream filter call effective_shard() and
+// must agree bit-for-bit; these pin its routing table directly.
+TEST(EffectiveShard, RingOrderSkipsDownShardsUnderReroute) {
+  FleetFaultPlan faults;
+  faults.policy = DownShardPolicy::kReroute;
+  faults.outages = {{/*shard=*/1, /*fail_at=*/100, /*recover_at=*/200},
+                    {/*shard=*/2, /*fail_at=*/100, /*recover_at=*/200}};
+  // Outside the window: everyone serves their own keys.
+  EXPECT_EQ(effective_shard(faults, 5, 1, 99), 1u);
+  EXPECT_EQ(effective_shard(faults, 5, 1, 200), 1u);
+  // Inside: shard 1's traffic skips the also-down shard 2 and lands on 3.
+  EXPECT_EQ(effective_shard(faults, 5, 1, 100), 3u);
+  EXPECT_EQ(effective_shard(faults, 5, 2, 150), 3u);
+  // Up shards keep their own traffic regardless of the window.
+  EXPECT_EQ(effective_shard(faults, 5, 0, 150), 0u);
+  EXPECT_EQ(effective_shard(faults, 5, 4, 150), 4u);
+}
+
+TEST(EffectiveShard, WrapsTheRingAndHandlesWholeFleetDown) {
+  FleetFaultPlan faults;
+  faults.policy = DownShardPolicy::kReroute;
+  faults.outages = {{/*shard=*/2, /*fail_at=*/0, /*recover_at=*/100},
+                    {/*shard=*/0, /*fail_at=*/0, /*recover_at=*/100}};
+  // Shard 2's ring walk wraps past the down shard 0 to reach shard 1.
+  EXPECT_EQ(effective_shard(faults, 3, 2, 50), 1u);
+  // Whole fleet down: the owner keeps the request (the runner's fail-fast
+  // guard then rejects it rather than silently serving it).
+  faults.outages.push_back({/*shard=*/1, /*fail_at=*/0, /*recover_at=*/100});
+  EXPECT_EQ(effective_shard(faults, 3, 2, 50), 2u);
+}
+
+TEST(EffectiveShard, NonRerouteMakesItTheIdentity) {
+  for (DownShardPolicy policy :
+       {DownShardPolicy::kFailFast, DownShardPolicy::kRetryBackoff}) {
+    FleetFaultPlan faults;
+    faults.policy = policy;
+    faults.outages = {{/*shard=*/1, /*fail_at=*/0, /*recover_at=*/100}};
+    EXPECT_EQ(effective_shard(faults, 4, 1, 50), 1u)
+        << to_string(policy);
+  }
+}
+
+// --- Every-shard-down windows ------------------------------------------
+
+// A window where every shard is down must surface as failed reads and a
+// merge that stays finite — never a div-by-zero, never a silently served
+// request.
+TEST(FleetFaults, AllShardsDownWindowFailsFastAndMergesClean) {
+  FleetConfig fleet = faulty_fleet(3, PathKind::kBlockIo);
+  fleet.faults.policy = DownShardPolicy::kFailFast;
+  for (std::size_t s = 0; s < 3; ++s)
+    fleet.faults.outages.push_back({s, 600, 900});
+  FleetRunner runner(fleet, synth_factory('C'), 42);
+  const RunConfig rc{900, 400};
+  const FleetResult serial = runner.run(rc, /*jobs=*/1);
+
+  EXPECT_GT(serial.failed_reads, 0u);
+  EXPECT_EQ(serial.failed_reads, serial.down_requests);
+  EXPECT_EQ(serial.measured_reads + serial.failed_reads, rc.requests);
+  EXPECT_LT(serial.availability(), 1.0);
+  EXPECT_GT(serial.p99_latency_us, 0.0);  // served reads still have stats
+  const FleetResult parallel = runner.run(rc, /*jobs=*/3);
+  EXPECT_TRUE(deterministic_equal(serial, parallel));
+}
+
+// Reroute with nowhere to go: effective_shard() returns the owner, and the
+// runner's guard rejects the request fail-fast instead of letting the down
+// shard serve it into a healthy-looking histogram.
+TEST(FleetFaults, RerouteWithNowhereToGoFailsInsteadOfServing) {
+  FleetConfig fleet = faulty_fleet(3, PathKind::kBlockIo);
+  fleet.faults.policy = DownShardPolicy::kReroute;
+  for (std::size_t s = 0; s < 3; ++s)
+    fleet.faults.outages.push_back({s, 600, 900});
+  FleetRunner runner(fleet, synth_factory('C'), 42);
+  const RunConfig rc{900, 400};
+  const FleetResult r = runner.run(rc, /*jobs=*/1);
+
+  EXPECT_GT(r.failed_reads, 0u);
+  EXPECT_LT(r.availability(), 1.0);
+  EXPECT_EQ(r.measured_reads + r.failed_reads, rc.requests);
+  const FleetResult parallel = runner.run(rc, /*jobs=*/3);
+  EXPECT_TRUE(deterministic_equal(r, parallel));
+}
+
+// The degenerate extreme: the whole fleet is down for the whole stream.
+// Zero reads served, availability 0, every percentile readout 0 — and no
+// crash anywhere in the merge.
+TEST(FleetFaults, WholeFleetDownWholeRunMergesToZeros) {
+  FleetConfig fleet = faulty_fleet(2, PathKind::kBlockIo);
+  fleet.faults.policy = DownShardPolicy::kFailFast;
+  fleet.faults.outages = {{0, 0, 1u << 20}, {1, 0, 1u << 20}};
+  FleetRunner runner(fleet, synth_factory('C'), 42);
+  const FleetResult r = runner.run({600, 300}, /*jobs=*/1);
+
+  EXPECT_EQ(r.measured_reads, 0u);
+  EXPECT_EQ(r.failed_reads, 600u);
+  EXPECT_EQ(r.availability(), 0.0);
+  EXPECT_EQ(r.latency.count(), 0u);
+  EXPECT_EQ(r.mean_latency_us, 0.0);
+  EXPECT_EQ(r.p50_latency_us, 0.0);
+  EXPECT_EQ(r.p99_latency_us, 0.0);
+  EXPECT_EQ(r.p999_latency_us, 0.0);
+}
+
+// Reroute composed with a range partitioner and a non-divisor shard count:
+// the hot low-key slice belongs to shard 0; while it is down the ring
+// sends its traffic to shard 1, and the pre-pass (which sizes phases by
+// effective_shard()) agrees with the filters at any job count.
+TEST(FleetFaults, RerouteWithRangePartitionerAndNonDivisorShards) {
+  FleetConfig fleet = faulty_fleet(5, PathKind::kBlockIo);
+  fleet.partition = PartitionScheme::kRange;
+  fleet.faults.policy = DownShardPolicy::kReroute;
+  fleet.faults.outages = {{/*shard=*/0, /*fail_at=*/500, /*recover_at=*/900}};
+  auto zipf_factory = [](std::uint64_t seed) -> std::unique_ptr<Workload> {
+    SyntheticConfig sc = table1_workload('C', Distribution::kZipf, seed);
+    sc.file_size = 8 * kMiB;
+    return std::make_unique<SyntheticWorkload>(sc);
+  };
+  FleetRunner runner(fleet, zipf_factory, 42);
+  const RunConfig rc{900, 400};
+  const FleetResult r = runner.run(rc, /*jobs=*/1);
+
+  EXPECT_EQ(r.failed_reads, 0u);
+  EXPECT_EQ(r.measured_reads, rc.requests);
+  EXPECT_GT(r.down_requests, 0u);
+  // The ring neighbour absorbed the zipf head during the window.
+  FleetConfig healthy = fleet;
+  healthy.faults.outages.clear();
+  const FleetResult base = FleetRunner(healthy, zipf_factory, 42).run(rc, 1);
+  EXPECT_GT(r.shard_results[1].requests, base.shard_results[1].requests);
+  EXPECT_LT(r.shard_results[0].requests, base.shard_results[0].requests);
+  const FleetResult parallel = runner.run(rc, /*jobs=*/4);
+  EXPECT_TRUE(deterministic_equal(r, parallel));
+}
+
 }  // namespace
 }  // namespace pipette

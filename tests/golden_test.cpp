@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "fleet/fleet.h"
 #include "sim/experiment.h"
 #include "workload/synthetic.h"
 
@@ -96,6 +97,111 @@ std::string render_golden(const char* workload_name, double write_ratio,
   return out.str();
 }
 
+// Fleet-layer tripwire: four small fleets (plain, and one per outage
+// policy) with every deterministic FleetResult aggregate pinned. These are
+// exactly the configurations the replica/migration layer must leave
+// untouched: replication left at its R=1 / kPrimaryOnly / no-migration
+// default takes the legacy code path, and this fixture is what "bit-identical
+// to the pre-replica fleet" means.
+std::string render_golden_fleet() {
+  constexpr std::uint64_t kFleetWarmup = 600;
+  constexpr std::uint64_t kFleetRequests = 1'200;
+
+  struct Cell {
+    const char* name;
+    std::size_t shards;
+    PartitionScheme partition;
+    PathKind kind;
+    FleetFaultPlan faults;
+  };
+  FleetFaultPlan fail_fast;
+  fail_fast.outages = {{/*shard=*/1, /*fail_at=*/800, /*recover_at=*/1200}};
+  fail_fast.policy = DownShardPolicy::kFailFast;
+  FleetFaultPlan retry;
+  retry.outages = {{/*shard=*/2, /*fail_at=*/700, /*recover_at=*/1000}};
+  retry.policy = DownShardPolicy::kRetryBackoff;
+  FleetFaultPlan reroute;
+  reroute.outages = {{/*shard=*/0, /*fail_at=*/800, /*recover_at=*/1300}};
+  reroute.policy = DownShardPolicy::kReroute;
+  const Cell cells[] = {
+      {"hash-pipette-4", 4, PartitionScheme::kHash, PathKind::kPipette, {}},
+      {"range-blockio-3-failfast", 3, PartitionScheme::kRange,
+       PathKind::kBlockIo, fail_fast},
+      {"hash-pipette-4-retry", 4, PartitionScheme::kHash, PathKind::kPipette,
+       retry},
+      {"hash-blockio-3-reroute", 3, PartitionScheme::kHash, PathKind::kBlockIo,
+       reroute},
+  };
+
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"workload\": \"table1-C-zipf-8mib\",\n";
+  out << "  \"seed\": " << kSeed << ",\n";
+  out << "  \"warmup\": " << kFleetWarmup << ",\n";
+  out << "  \"requests\": " << kFleetRequests << ",\n";
+  out << "  \"cells\": [\n";
+  bool first = true;
+  for (const Cell& cell : cells) {
+    FleetConfig fleet;
+    fleet.shards = cell.shards;
+    fleet.partition = cell.partition;
+    fleet.machine = default_machine(cell.kind);
+    fleet.faults = cell.faults;
+    FleetRunner runner(
+        fleet,
+        [](std::uint64_t seed) -> std::unique_ptr<Workload> {
+          SyntheticConfig sc = table1_workload('C', Distribution::kZipf, seed);
+          sc.file_size = 8 * kMiB;
+          return std::make_unique<SyntheticWorkload>(sc);
+        },
+        kSeed);
+    const FleetResult r = runner.run({kFleetRequests, kFleetWarmup},
+                                     /*jobs=*/1);
+    if (!first) out << ",\n";
+    first = false;
+    out << "    {\n";
+    out << "      \"cell\": \"" << cell.name << "\",\n";
+    out << "      \"requests\": " << fmt(r.requests) << ",\n";
+    out << "      \"measured_reads\": " << fmt(r.measured_reads) << ",\n";
+    out << "      \"bytes_requested\": " << fmt(r.bytes_requested) << ",\n";
+    out << "      \"traffic_bytes\": " << fmt(r.traffic_bytes) << ",\n";
+    out << "      \"events_executed\": " << fmt(r.events_executed) << ",\n";
+    out << "      \"retries\": " << fmt(r.retries) << ",\n";
+    out << "      \"failed_reads\": " << fmt(r.failed_reads) << ",\n";
+    out << "      \"degraded_reads\": " << fmt(r.degraded_reads) << ",\n";
+    out << "      \"down_requests\": " << fmt(r.down_requests) << ",\n";
+    out << "      \"makespan_ns\": " << fmt(r.makespan) << ",\n";
+    out << "      \"mean_latency_us\": " << fmt(r.mean_latency_us) << ",\n";
+    out << "      \"p50_latency_us\": " << fmt(r.p50_latency_us) << ",\n";
+    out << "      \"p99_latency_us\": " << fmt(r.p99_latency_us) << ",\n";
+    out << "      \"p999_latency_us\": "
+        << fmt(to_us(r.latency.percentile(99.9))) << ",\n";
+    out << "      \"availability\": " << fmt(r.availability()) << ",\n";
+    out << "      \"max_shard_requests\": " << fmt(r.max_shard_requests)
+        << ",\n";
+    out << "      \"min_shard_requests\": " << fmt(r.min_shard_requests)
+        << ",\n";
+    out << "      \"mean_shard_requests\": " << fmt(r.mean_shard_requests)
+        << ",\n";
+    out << "      \"load_imbalance\": " << fmt(r.load_imbalance) << ",\n";
+    out << "      \"hottest_shard\": " << fmt(r.hottest_shard) << ",\n";
+    out << "      \"hottest_shard_fgrc_hit_ratio\": "
+        << fmt(r.hottest_shard_fgrc_hit_ratio) << ",\n";
+    out << "      \"shards\": [\n";
+    for (std::size_t s = 0; s < r.shard_results.size(); ++s) {
+      const RunResult& sr = r.shard_results[s];
+      out << "        \"" << fmt(sr.requests) << ":" << fmt(sr.measured_reads)
+          << ":" << fmt(sr.elapsed) << ":" << fmt(sr.events_executed) << ":"
+          << fmt(sr.failed_reads) << ":" << fmt(sr.retries) << "\""
+          << (s + 1 < r.shard_results.size() ? ",\n" : "\n");
+    }
+    out << "      ]\n";
+    out << "    }";
+  }
+  out << "\n  ]\n}\n";
+  return out.str();
+}
+
 std::vector<std::string> lines_of(const std::string& text) {
   std::vector<std::string> lines;
   std::istringstream in(text);
@@ -149,6 +255,14 @@ TEST(GoldenTrace, WriteMixAtExplicitPageMuMatchesFixture) {
   check_against_fixture(
       render_golden("table1-C-uniform-wr20", 0.2, 4096),
       GOLDEN_MU_TRACE_PATH);
+}
+
+// Fleet fixture: pins the legacy (replica-free) fleet path — partitioned
+// routing, all three outage policies, merge aggregates — so the replica /
+// migration layer's "degenerate config changes nothing" claim is checked
+// against bits on disk, not against a same-binary rerun.
+TEST(GoldenTrace, FleetMatchesCheckedInFixture) {
+  check_against_fixture(render_golden_fleet(), GOLDEN_FLEET_TRACE_PATH);
 }
 
 }  // namespace
