@@ -29,6 +29,7 @@
 
 #include "bench_common.h"
 #include "obs/chrome_trace.h"
+#include "obs/util.h"
 #include "workload/pattern.h"
 
 using namespace pipette;
@@ -138,6 +139,14 @@ void write_breakdown_json(const BenchArgs& args,
       w.kv("page_cache_hit_ratio", sample.page_cache_hit_ratio, 6);
       w.kv("fgrc_hit_ratio", sample.fgrc_hit_ratio, 6);
       w.kv("fgrc_bytes", sample.fgrc_bytes);
+      w.kv("gc_moves", sample.gc_moves);
+      w.kv("read_retries", sample.read_retries);
+      w.kv("degraded_reads", sample.degraded_reads);
+      w.kv("nand_busy_ns", sample.nand_busy_ns);
+      w.kv("interconnect_busy_ns", sample.interconnect_busy_ns);
+      w.kv("gc_busy_ns", sample.gc_busy_ns);
+      w.kv("info_ring_depth", sample.info_ring_depth);
+      w.kv("nand_queue_depth", sample.nand_queue_depth);
       w.end_object();
     }
     w.end_array();
@@ -241,11 +250,25 @@ int main(int argc, char** argv) {
     std::printf("  %-18s %s\n", run.label,
                 run.result.read_latency.summary().c_str());
 
+  // Where each system's time actually went: the top-ranked resource of the
+  // utilization accounts (full per-resource table in bottleneck_report).
+  std::printf("\nbottleneck attribution (busy-time share of elapsed):\n");
+  for (const SystemRun& run : runs) {
+    const BottleneckReport report =
+        BottleneckReport::from_metrics(run.result.metrics);
+    if (report.resources().empty()) continue;
+    const ResourceReport& top = report.resources().front();
+    std::printf("  %-18s %-14s share=%.3f  resid=%.4f%%\n", run.label,
+                top.name.c_str(), top.busy_share(report.elapsed_ns()),
+                report.max_littles_residual() * 100.0);
+  }
+
   if (!args.json_path.empty()) write_breakdown_json(args, runs);
   if (!trace_path.empty()) {
     std::vector<ShardTrace> shards;
     for (SystemRun& run : runs)
-      shards.push_back({run.label, std::move(run.result.trace_spans)});
+      shards.push_back({run.label, std::move(run.result.trace_spans),
+                        std::move(run.result.timeline)});
     if (!write_chrome_trace(trace_path, shards)) return 1;
     std::printf("chrome trace   : %s\n", trace_path.c_str());
   }

@@ -200,7 +200,7 @@ PipettePath::FineOutcome PipettePath::fine_read(FileId file,
   for (const LbaRange& r : lba_scratch_) {
     PIPETTE_ASSERT_MSG(!info.full(), "Info Area backpressure");
     const std::uint64_t idx =
-        info.push({dest, r.lba, r.offset, r.len});
+        info.push({dest, r.lba, r.offset, r.len}, sim_.now());
     cmd.ranges.push_back({r.lba, r.offset, r.len, idx});
     dest += r.len;
   }

@@ -73,6 +73,7 @@ class PipettePath : public ReadPathBase {
   const FineGrainedAccessDetector& detector() const { return detector_; }
   /// Null when prefetching is disabled (or use_cache is off).
   const Prefetcher* prefetcher() const { return prefetcher_.get(); }
+  Prefetcher* prefetcher() { return prefetcher_.get(); }
   BlockIoPath& block_route() { return block_; }
   const PipettePathStats& pipette_stats() const { return pstats_; }
   bool cache_enabled() const { return config_.use_cache; }

@@ -55,7 +55,8 @@ NandArray::NandArray(Simulator& sim, NandGeometry geometry, NandTiming timing,
       die_erases_(geometry.dies(), 0),
       die_reads_(geometry.dies(), 0),
       die_retries_(geometry.dies(), 0),
-      die_burst_left_(geometry.dies(), 0) {
+      die_burst_left_(geometry.dies(), 0),
+      gc_die_until_(geometry.dies(), 0) {
   PIPETTE_ASSERT(geometry_.channels > 0 && geometry_.ways_per_channel > 0);
   PIPETTE_ASSERT(geometry_.page_size > 0);
   PIPETTE_ASSERT(faults_.max_attempts > 0);
@@ -78,7 +79,8 @@ SimTime NandArray::die_free_at(const PhysPageAddr& addr) const {
 
 NandReadOutcome NandArray::read_page(const PhysPageAddr& addr,
                                      DoneCallback on_done,
-                                     std::uint32_t transfer_bytes) {
+                                     std::uint32_t transfer_bytes,
+                                     NandOpClass cls) {
   check_addr(addr);
   if (transfer_bytes == 0) transfer_bytes = geometry_.page_size;
   PIPETTE_ASSERT(transfer_bytes <= geometry_.page_size);
@@ -107,10 +109,19 @@ NandReadOutcome NandArray::read_page(const PhysPageAddr& addr,
   }
 
   // Array sensing occupies the die.
-  const SimTime sense_start =
-      std::max(sim_.now() + timing_.command_overhead, die_busy_until_[die]);
+  const SimTime arrival = sim_.now() + timing_.command_overhead;
+  const SimTime sense_start = std::max(arrival, die_busy_until_[die]);
   const SimTime sense_end = sense_start + sense;
   die_busy_until_[die] = sense_end;
+  if (cls == NandOpClass::kHost) {
+    die_usage_.record(sim_.now(), arrival, sense_start, sense_end);
+    if (gc_die_until_[die] > arrival)
+      gc_blocked_host_ns_ +=
+          std::min(sense_start, gc_die_until_[die]) - arrival;
+  } else {
+    gc_usage_.record(sim_.now(), arrival, sense_start, sense_end);
+    gc_die_until_[die] = std::max(gc_die_until_[die], sense_end);
+  }
 
   // First sensing pass vs. the retry passes (extra sensing + backoff): the
   // breakdown table separates steady-state media time from fault recovery.
@@ -135,6 +146,8 @@ NandReadOutcome NandArray::read_page(const PhysPageAddr& addr,
       xfer_start + static_cast<SimDuration>(
                        timing_.channel_ns_per_byte * transfer_bytes);
   channel_busy_until_[addr.channel] = xfer_end;
+  (cls == NandOpClass::kHost ? channel_usage_ : gc_usage_)
+      .record(sim_.now(), sense_end, xfer_start, xfer_end);
 
   PIPETTE_TRACE_SPAN(sim_, Stage::kNandBus, xfer_start, xfer_end);
 
@@ -166,14 +179,15 @@ void NandArray::note_erase(std::size_t die) {
     die_burst_left_[die] = faults_.wear_burst_reads;
 }
 
-void NandArray::program_page(const PhysPageAddr& addr, DoneCallback on_done) {
+void NandArray::program_page(const PhysPageAddr& addr, DoneCallback on_done,
+                             NandOpClass cls) {
   check_addr(addr);
   const std::size_t die = die_index(addr);
 
   // Data moves over the channel first, then the die programs.
+  const SimTime arrival = sim_.now() + timing_.command_overhead;
   const SimTime xfer_start =
-      std::max(sim_.now() + timing_.command_overhead,
-               channel_busy_until_[addr.channel]);
+      std::max(arrival, channel_busy_until_[addr.channel]);
   const SimTime xfer_end =
       xfer_start + static_cast<SimDuration>(
                        timing_.channel_ns_per_byte * geometry_.page_size);
@@ -182,6 +196,17 @@ void NandArray::program_page(const PhysPageAddr& addr, DoneCallback on_done) {
   const SimTime prog_start = std::max(xfer_end, die_busy_until_[die]);
   const SimTime prog_end = prog_start + timing_.t_prog();
   die_busy_until_[die] = prog_end;
+  if (cls == NandOpClass::kHost) {
+    channel_usage_.record(sim_.now(), arrival, xfer_start, xfer_end);
+    die_usage_.record(sim_.now(), xfer_end, prog_start, prog_end);
+    if (gc_die_until_[die] > xfer_end)
+      gc_blocked_host_ns_ +=
+          std::min(prog_start, gc_die_until_[die]) - xfer_end;
+  } else {
+    gc_usage_.record(sim_.now(), arrival, xfer_start, xfer_end);
+    gc_usage_.record(sim_.now(), xfer_end, prog_start, prog_end);
+    gc_die_until_[die] = std::max(gc_die_until_[die], prog_end);
+  }
 
   ++stats_.page_programs;
   stats_.bytes_transferred += geometry_.page_size;

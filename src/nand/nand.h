@@ -16,8 +16,16 @@
 #include "common/units.h"
 #include "des/simulator.h"
 #include "faults/faults.h"
+#include "obs/util.h"
 
 namespace pipette {
+
+/// Who an array operation is working for. Host-attributed ops and GC
+/// relocations share the same dies and channels, but the bottleneck report
+/// accounts them as separate resources — a GC-bound cell is one where the
+/// *gc* resource's busy time tops the ranking, which would be invisible if
+/// its ops were folded into the die pool's account.
+enum class NandOpClass : std::uint8_t { kHost, kGc };
 
 enum class CellType { kSlc, kMlc, kTlc };
 
@@ -103,12 +111,16 @@ class NandArray {
   /// backoff), then the channel bus transfers `transfer_bytes` (defaults to
   /// the full page) to the controller. `on_done` fires when the data is in
   /// the controller buffer — or, on a terminal ECC failure, at sense end
-  /// with no transfer; the returned outcome says which.
+  /// with no transfer; the returned outcome says which. `cls` attributes
+  /// the die/channel time to the host or to GC in the utilization accounts
+  /// (timing is identical either way).
   NandReadOutcome read_page(const PhysPageAddr& addr, DoneCallback on_done,
-                            std::uint32_t transfer_bytes = 0);
+                            std::uint32_t transfer_bytes = 0,
+                            NandOpClass cls = NandOpClass::kHost);
 
   /// Program one full page; `on_done` fires at program completion.
-  void program_page(const PhysPageAddr& addr, DoneCallback on_done);
+  void program_page(const PhysPageAddr& addr, DoneCallback on_done,
+                    NandOpClass cls = NandOpClass::kHost);
 
   /// Record a completed block erase on `die` (the FTL forwards its GC
   /// erases here). Pure bookkeeping — no time passes and no events are
@@ -132,6 +144,16 @@ class NandArray {
   /// Earliest time the given die could start a new array operation.
   SimTime die_free_at(const PhysPageAddr& addr) const;
 
+  // Utilization accounts (passive; see obs/util.h). Host-attributed die and
+  // channel time are pooled per resource kind; GC relocations accumulate
+  // into their own account covering both their die and channel legs.
+  ResourceUsage& die_usage() { return die_usage_; }
+  ResourceUsage& channel_usage() { return channel_usage_; }
+  ResourceUsage& gc_usage() { return gc_usage_; }
+  /// Host op time spent queued behind a GC-set die horizon — the
+  /// foreground-blocked cost of background collection.
+  std::uint64_t gc_blocked_host_ns() const { return gc_blocked_host_ns_; }
+
  private:
   std::size_t die_index(const PhysPageAddr& addr) const;
   void check_addr(const PhysPageAddr& addr) const;
@@ -152,6 +174,15 @@ class NandArray {
   std::vector<std::uint64_t> die_reads_;
   std::vector<std::uint64_t> die_retries_;
   std::vector<std::uint32_t> die_burst_left_;  // post-erase window countdown
+
+  // Utilization layer (reads already-computed horizon times; never affects
+  // them). gc_die_until_ remembers the latest GC-set horizon per die so a
+  // host op's wait can be split into "behind GC" vs "behind other hosts".
+  ResourceUsage die_usage_;
+  ResourceUsage channel_usage_;
+  ResourceUsage gc_usage_;
+  std::vector<SimTime> gc_die_until_;
+  std::uint64_t gc_blocked_host_ns_ = 0;
 };
 
 }  // namespace pipette

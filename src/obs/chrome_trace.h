@@ -7,14 +7,20 @@
 #include <string>
 #include <vector>
 
+#include "obs/timeline.h"
 #include "obs/trace.h"
 
 namespace pipette {
 
 /// One process row in the trace: a shard or a system under comparison.
+/// When `timeline` is non-empty, its samples additionally render as
+/// Perfetto counter tracks ("ph":"C"): per-interval throughput, hit
+/// ratios, per-resource utilization, and instantaneous queue depths,
+/// drawn alongside the per-read spans.
 struct ShardTrace {
   std::string label;
   std::vector<TraceSpan> spans;
+  std::vector<TimeSample> timeline;
 };
 
 /// Renders the full JSON document ({"traceEvents": [...]}).

@@ -11,9 +11,11 @@
 // and the fleet determinism contract.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 
 namespace pipette {
 
@@ -39,11 +41,22 @@ class MetricsRegistry {
   bool empty() const { return values_.empty(); }
   std::size_t size() const { return values_.size(); }
 
-  /// Key-wise sum — the fleet's cross-shard merge. Gauges that do not sum
-  /// meaningfully (high-water marks) still sum deterministically; per-shard
-  /// values stay available in the shard results.
+  /// True for names the fleet merge must treat as high-water gauges:
+  /// summing a peak across shards would report a depth no shard ever saw.
+  /// The convention is part of the metric-naming contract (obs_test pins
+  /// it): peaks end in "_peak" or ".peak".
+  static bool is_peak(std::string_view name) {
+    return name.ends_with("_peak") || name.ends_with(".peak");
+  }
+
+  /// Key-wise cross-shard merge: counters sum; high-water gauges (see
+  /// is_peak) take the max. Per-shard values stay available in the shard
+  /// results.
   void merge_add(const MetricsRegistry& other) {
-    for (const auto& [name, v] : other.values_) values_[name] += v;
+    for (const auto& [name, v] : other.values_) {
+      std::uint64_t& mine = values_[name];
+      mine = is_peak(name) ? std::max(mine, v) : mine + v;
+    }
   }
 
   bool operator==(const MetricsRegistry&) const = default;

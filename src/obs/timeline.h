@@ -35,6 +35,19 @@ struct TimeSample {
   double fgrc_hit_ratio = 0.0;
   std::uint64_t fgrc_bytes = 0;
 
+  // GC and fault activity (cumulative, like the counters above).
+  std::uint64_t gc_moves = 0;       // victim pages GC relocated
+  std::uint64_t read_retries = 0;   // NAND read-retry passes
+  std::uint64_t degraded_reads = 0; // reads served degraded after faults
+
+  // Utilization & queueing (obs/util.h accounts). Busy counters are
+  // cumulative ns; depths are instantaneous levels at the sample instant.
+  std::uint64_t nand_busy_ns = 0;          // die sensing + programming
+  std::uint64_t interconnect_busy_ns = 0;  // PCIe DMA + LMB link
+  std::uint64_t gc_busy_ns = 0;            // GC-attributed NAND time
+  std::uint32_t info_ring_depth = 0;
+  std::uint32_t nand_queue_depth = 0;
+
   bool operator==(const TimeSample&) const = default;
 };
 

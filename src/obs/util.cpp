@@ -1,0 +1,109 @@
+#include "obs/util.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/table.h"
+
+namespace pipette {
+
+void export_usage(MetricsRegistry& out, const std::string& name,
+                  ResourceUsage& usage, std::uint64_t units, SimTime now) {
+  out.set("util." + name + ".busy_ns", usage.busy_ns());
+  out.set("util." + name + ".ops", usage.ops());
+  out.set("util." + name + ".units", units);
+  out.set("queue." + name + ".wait_ns", usage.wait_ns());
+  out.set("queue." + name + ".depth_integral_ns",
+          usage.depth_integral_ns(now));
+  out.set("queue." + name + ".depth_peak", usage.depth_peak(now));
+}
+
+void export_occupancy(MetricsRegistry& out, const std::string& name,
+                      OccupancyIntegrator& occ, std::uint64_t units,
+                      SimTime now) {
+  occ.advance(now);
+  out.set("util." + name + ".busy_ns", occ.busy_ns());
+  out.set("util." + name + ".units", units);
+  out.set("queue." + name + ".depth_integral_ns", occ.integral_ns());
+  out.set("queue." + name + ".depth_peak", occ.peak());
+}
+
+double ResourceReport::littles_residual() const {
+  if (!has_waits || depth_integral_ns == 0) return 0.0;
+  const double integral = static_cast<double>(depth_integral_ns);
+  const double in_system = static_cast<double>(busy_ns + wait_ns);
+  return std::fabs(integral - in_system) / integral;
+}
+
+BottleneckReport BottleneckReport::from_metrics(
+    const MetricsRegistry& metrics) {
+  BottleneckReport report;
+  report.elapsed_ns_ = metrics.value("util.sim_time_ns");
+  constexpr const char* kPrefix = "util.";
+  constexpr const char* kSuffix = ".busy_ns";
+  for (const auto& [key, busy] : metrics.values()) {
+    if (key.rfind(kPrefix, 0) != 0) continue;
+    if (key.size() <= std::string(kPrefix).size() + std::string(kSuffix).size())
+      continue;
+    if (key.compare(key.size() - 8, 8, kSuffix) != 0) continue;
+    const std::string name =
+        key.substr(5, key.size() - 5 - 8);  // util.<name>.busy_ns
+    ResourceReport r;
+    r.name = name;
+    r.busy_ns = busy;
+    r.units = std::max<std::uint64_t>(1, metrics.value("util." + name +
+                                                       ".units"));
+    r.ops = metrics.value("util." + name + ".ops");
+    r.has_waits = metrics.contains("queue." + name + ".wait_ns");
+    r.wait_ns = metrics.value("queue." + name + ".wait_ns");
+    r.depth_integral_ns = metrics.value("queue." + name +
+                                        ".depth_integral_ns");
+    r.depth_peak = metrics.value("queue." + name + ".depth_peak");
+    report.resources_.push_back(std::move(r));
+  }
+  // Service resources (with wait accounting) rank first: their busy time is
+  // consumed capacity. Occupancy accounts (info ring, buffers, budgets)
+  // follow unranked — a ring that is merely non-empty 90% of the time is
+  // pipelining fine, not a constraint, so comparing its nonzero-level time
+  // against a die's service time would misattribute the bottleneck.
+  std::sort(report.resources_.begin(), report.resources_.end(),
+            [](const ResourceReport& a, const ResourceReport& b) {
+              if (a.has_waits != b.has_waits) return a.has_waits;
+              if (a.busy_ns != b.busy_ns) return a.busy_ns > b.busy_ns;
+              return a.name < b.name;
+            });
+  return report;
+}
+
+std::string BottleneckReport::top() const {
+  for (const ResourceReport& r : resources_) {
+    if (r.has_waits && r.busy_ns > 0) return r.name;
+  }
+  return "";
+}
+
+double BottleneckReport::max_littles_residual() const {
+  double worst = 0.0;
+  for (const ResourceReport& r : resources_) {
+    worst = std::max(worst, r.littles_residual());
+  }
+  return worst;
+}
+
+Table BottleneckReport::to_table() const {
+  Table t({"resource", "busy share", "util/unit%", "mean depth", "mean wait us",
+           "peak depth", "littles resid%"});
+  for (const ResourceReport& r : resources_) {
+    const double share = r.busy_share(elapsed_ns_);
+    t.add_row({r.name, Table::fmt(share, 3),
+               Table::fmt(share / static_cast<double>(r.units) * 100.0, 2),
+               Table::fmt(r.mean_depth(elapsed_ns_), 3),
+               r.has_waits ? Table::fmt(r.mean_wait_us(), 2) : "-",
+               std::to_string(r.depth_peak),
+               r.has_waits ? Table::fmt(r.littles_residual() * 100.0, 3)
+                           : "-"});
+  }
+  return t;
+}
+
+}  // namespace pipette

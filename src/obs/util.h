@@ -1,0 +1,230 @@
+// Utilization & queueing observability: per-resource busy accounting,
+// time-weighted queue-depth integrals, and bottleneck attribution.
+//
+// Every contended resource in the simulator already expresses contention as
+// a busy-until horizon: an operation submitted at `arrival` computes
+// `start = max(arrival, busy_until)` and `end = start + service` at
+// scheduling time, so (arrival, start, end) is known the instant the op is
+// issued — possibly entirely in the sim's future. This layer records those
+// already-computed triples and nothing else. The contract is the tracer's
+// (DESIGN §5b): strictly passive — no events scheduled, no sim time
+// advanced, no RNG drawn — so an instrumented run is bit-identical to an
+// uninstrumented one, a property the golden trace fixtures pin.
+//
+// Two accounting identities make the numbers trustworthy:
+//
+//  * busy_ns   = sum(end - start)         (service time)
+//    wait_ns   = sum(start - arrival)     (queueing time)
+//  * depth_integral_ns = time-integral of "operations in system", computed
+//    independently by sweeping the (arrival, +1)/(end, -1) edge events in
+//    time order.
+//
+// By Fubini, depth_integral_ns == busy_ns + wait_ns exactly — the same
+// quantity computed through two different code paths. BottleneckReport
+// surfaces the relative difference as a Little's-law residual (L = λW with
+// λ = ops/T and W = (busy+wait)/ops gives λW·T = busy+wait ≈ ∫depth): a
+// nonzero residual means the accounting itself is broken, so the check is
+// a self-test, not a model validation.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "obs/metrics.h"
+
+namespace pipette {
+
+class Table;
+
+/// Busy/wait/depth accounting for one serialised resource (or a pool of
+/// identical units accounted together, e.g. all NAND dies). record() is
+/// called at op submission with the already-computed horizon times; the
+/// depth sweep drains lazily up to the recording sim time and fully at
+/// collection, so recording is O(log in-flight) with no event-queue access.
+class ResourceUsage {
+ public:
+  /// Account one operation: queued at `arrival`, service [start, end).
+  /// `now` is the current sim time (drain limit: edge events later than
+  /// `now` may belong to ops not yet submitted, so they stay pending).
+  /// Requires arrival >= any previous `now` and arrival <= start <= end.
+  void record(SimTime now, SimTime arrival, SimTime start, SimTime end) {
+    ++ops_;
+    busy_ns_ += end - start;
+    wait_ns_ += start - arrival;
+    pending_.emplace(arrival, +1);
+    pending_.emplace(end, -1);
+    drain(now);
+  }
+
+  std::uint64_t ops() const { return ops_; }
+  std::uint64_t busy_ns() const { return busy_ns_; }
+  std::uint64_t wait_ns() const { return wait_ns_; }
+
+  /// Independent depth integral, advanced to `now` (drains pending edges).
+  std::uint64_t depth_integral_ns(SimTime now) {
+    drain(now);
+    return depth_integral_ns_;
+  }
+  /// Highest concurrent op count observed up to `now`.
+  std::uint32_t depth_peak(SimTime now) {
+    drain(now);
+    return peak_;
+  }
+  /// Ops in system (queued or in service) at `now`.
+  std::uint32_t depth(SimTime now) {
+    drain(now);
+    return static_cast<std::uint32_t>(level_);
+  }
+
+ private:
+  /// Sweep edge events with time <= now in (time, delta) order. The delta
+  /// tie-break (-1 before +1) keeps back-to-back ops from counting depth 2
+  /// at the shared instant, and makes the sweep order deterministic.
+  /// Draining past `now` would be wrong: an op submitted later can still
+  /// carry an arrival earlier than already-pending future edges.
+  void drain(SimTime now) {
+    while (!pending_.empty() && pending_.top().first <= now) {
+      const auto [t, delta] = pending_.top();
+      pending_.pop();
+      advance_to(t);
+      level_ += delta;
+      if (level_ > static_cast<std::int64_t>(peak_))
+        peak_ = static_cast<std::uint32_t>(level_);
+    }
+    advance_to(now);
+  }
+
+  void advance_to(SimTime t) {
+    if (t <= swept_to_) return;
+    depth_integral_ns_ +=
+        static_cast<std::uint64_t>(level_) * (t - swept_to_);
+    swept_to_ = t;
+  }
+
+  using Edge = std::pair<SimTime, std::int8_t>;
+  std::uint64_t ops_ = 0;
+  std::uint64_t busy_ns_ = 0;
+  std::uint64_t wait_ns_ = 0;
+  std::uint64_t depth_integral_ns_ = 0;
+  std::int64_t level_ = 0;
+  std::uint32_t peak_ = 0;
+  SimTime swept_to_ = 0;
+  std::priority_queue<Edge, std::vector<Edge>, std::greater<Edge>> pending_;
+};
+
+/// Time-weighted occupancy accounting for a level that changes at known
+/// instants (Info-ring in-flight records, GC page-buffer reads, the
+/// prefetcher's outstanding budget). update() is called right after the
+/// level changes; busy time is the time spent at a nonzero level.
+class OccupancyIntegrator {
+ public:
+  void update(SimTime now, std::uint64_t level) {
+    advance(now);
+    level_ = level;
+    if (level > peak_) peak_ = level;
+  }
+
+  /// Extend the integral to `now` without changing the level.
+  void advance(SimTime now) {
+    if (now > last_) {
+      integral_ns_ += level_ * (now - last_);
+      if (level_ > 0) busy_ns_ += now - last_;
+      last_ = now;
+    }
+  }
+
+  std::uint64_t level() const { return level_; }
+  std::uint64_t peak() const { return peak_; }
+  std::uint64_t integral_ns() const { return integral_ns_; }
+  std::uint64_t busy_ns() const { return busy_ns_; }
+
+ private:
+  std::uint64_t level_ = 0;
+  std::uint64_t peak_ = 0;
+  std::uint64_t integral_ns_ = 0;
+  std::uint64_t busy_ns_ = 0;  // time at nonzero occupancy
+  SimTime last_ = 0;
+};
+
+/// Export one ResourceUsage under util.<name>.* / queue.<name>.* metric
+/// names. The depth peak deliberately ends in "_peak" so the fleet merge
+/// takes the max across shards instead of summing (MetricsRegistry rule).
+void export_usage(MetricsRegistry& out, const std::string& name,
+                  ResourceUsage& usage, std::uint64_t units, SimTime now);
+
+/// Export one OccupancyIntegrator the same way (busy_ns = nonzero time).
+void export_occupancy(MetricsRegistry& out, const std::string& name,
+                      OccupancyIntegrator& occ, std::uint64_t units,
+                      SimTime now);
+
+/// One ranked row of the bottleneck report, reconstructed from util.* and
+/// queue.* registry entries (so it works identically on a RunResult and on
+/// a fleet's merged registry, where busy and elapsed both sum per shard).
+struct ResourceReport {
+  std::string name;
+  std::uint64_t units = 1;
+  std::uint64_t ops = 0;
+  std::uint64_t busy_ns = 0;
+  std::uint64_t wait_ns = 0;
+  std::uint64_t depth_integral_ns = 0;
+  std::uint64_t depth_peak = 0;
+  bool has_waits = false;  // occupancy-only resources have no wait account
+
+  /// Total busy time over elapsed — the ranking key. Exceeds 1.0 when a
+  /// pool's units are busy concurrently; per-unit utilization is
+  /// busy_share / units.
+  double busy_share(std::uint64_t elapsed_ns) const {
+    return elapsed_ns == 0
+               ? 0.0
+               : static_cast<double>(busy_ns) /
+                     static_cast<double>(elapsed_ns);
+  }
+  double mean_depth(std::uint64_t elapsed_ns) const {
+    return elapsed_ns == 0
+               ? 0.0
+               : static_cast<double>(depth_integral_ns) /
+                     static_cast<double>(elapsed_ns);
+  }
+  double mean_wait_us() const {
+    return ops == 0 ? 0.0
+                    : static_cast<double>(wait_ns) /
+                          static_cast<double>(ops) / 1e3;
+  }
+  /// |∫depth - (busy + wait)| / ∫depth — zero when the two independent
+  /// accounts agree (see the file comment). Only defined for resources
+  /// with wait accounting.
+  double littles_residual() const;
+};
+
+/// Ranks every instrumented resource by busy-time share and cross-checks
+/// the queueing accounts. Built from a metrics registry, so it applies to
+/// single runs and merged fleet registries alike.
+class BottleneckReport {
+ public:
+  static BottleneckReport from_metrics(const MetricsRegistry& metrics);
+
+  /// Rows sorted service resources first (those with wait accounting),
+  /// then by descending busy share, ties broken by name. Occupancy-only
+  /// accounts trail the ranking: their busy time is time-at-nonzero-level,
+  /// which is not comparable to consumed service capacity.
+  const std::vector<ResourceReport>& resources() const { return resources_; }
+  /// The top-ranked service resource name (has_waits and busy), or ""
+  /// when no service resource did any work.
+  std::string top() const;
+  std::uint64_t elapsed_ns() const { return elapsed_ns_; }
+  /// Worst Little's-law residual across resources with wait accounting.
+  double max_littles_residual() const;
+
+  /// Rendered via the common Table: resource, busy share, per-unit
+  /// utilization, mean depth, mean wait, peak depth, residual.
+  Table to_table() const;
+
+ private:
+  std::vector<ResourceReport> resources_;
+  std::uint64_t elapsed_ns_ = 0;
+};
+
+}  // namespace pipette

@@ -199,7 +199,8 @@ void Prefetcher::maybe_issue(const StreamPrediction& pred) {
       }
       HmbAddr dest = plan.dest;
       for (const LbaRange& r : lba_scratch_) {
-        const std::uint64_t idx = info.push({dest, r.lba, r.offset, r.len});
+        const std::uint64_t idx =
+            info.push({dest, r.lba, r.offset, r.len}, sim_.now());
         cmd.ranges.push_back({r.lba, r.offset, r.len, idx});
         dest += r.len;
       }
@@ -224,7 +225,7 @@ void Prefetcher::maybe_issue(const StreamPrediction& pred) {
     stats_.issued += batched;
     job.in_use = true;
     job.issued_at = sim_.now();
-    ++outstanding_;
+    outstanding_occ_.update(sim_.now(), ++outstanding_);
     const std::uint64_t token = pack_token(slot, job.gen);
     ssd_.submit(std::move(cmd), [this, token](const CommandResult& r) {
       on_complete(token, r);
@@ -262,7 +263,7 @@ void Prefetcher::on_complete(std::uint64_t token,
   job.keys.clear();
   job.in_use = false;
   ++job.gen;
-  --outstanding_;
+  outstanding_occ_.update(sim_.now(), --outstanding_);
   free_jobs_.push_back(slot);
 }
 
@@ -276,7 +277,7 @@ void Prefetcher::abandon(std::uint32_t slot) {
   job.keys.clear();
   job.in_use = false;
   ++job.gen;
-  --outstanding_;
+  outstanding_occ_.update(sim_.now(), --outstanding_);
   free_jobs_.push_back(slot);
   ++stats_.lost;
 }
@@ -302,7 +303,7 @@ void Prefetcher::on_cache_reset(FineGrainedReadCache& fresh) {
     job.keys.clear();
     job.in_use = false;
     ++job.gen;
-    --outstanding_;
+    outstanding_occ_.update(sim_.now(), --outstanding_);
     free_jobs_.push_back(slot);
     ++stats_.lost;
   }

@@ -103,6 +103,10 @@ class Prefetcher {
   std::uint64_t unclaimed() const { return filled_.size(); }
   std::uint32_t outstanding() const { return outstanding_; }
 
+  /// Time-weighted occupancy of the speculative budget (outstanding
+  /// commands; passive account, obs/util.h).
+  OccupancyIntegrator& outstanding_occupancy() { return outstanding_occ_; }
+
  private:
   struct SpecJob {
     std::uint64_t gen = 0;  // bumped on abandon; stale completions no-op
@@ -129,6 +133,7 @@ class Prefetcher {
   std::vector<SpecJob> jobs_;            // ≤ max_outstanding, slot-stable
   std::vector<std::uint32_t> free_jobs_;
   std::uint32_t outstanding_ = 0;
+  OccupancyIntegrator outstanding_occ_;
   std::unordered_map<FgKey, std::uint32_t, FgKeyHash> inflight_;  // -> slot
   LruMap<FgKey, bool, FgKeyHash> filled_;  // value: promoted into FGRC
   std::vector<std::uint64_t> cand_scratch_;  // candidate offsets, reused

@@ -96,6 +96,8 @@ RunResult run_experiment_on(Machine& machine, Workload& workload,
   // Sim-time series: sampled between requests, so the sampler only reads
   // counters the simulation maintains anyway and never perturbs it.
   TimelineSampler sampler(run.timeline, machine.sim().now());
+  const UtilSnapshot u0 = machine.util_snapshot();
+  const std::uint64_t gc_moves0 = u0.gc_moves;
   auto hit_ratio_since = [](const RatioCounter& now, const RatioCounter& at) {
     const std::uint64_t accesses = now.accesses() - at.accesses();
     return accesses == 0 ? 0.0
@@ -116,6 +118,20 @@ RunResult run_experiment_on(Machine& machine, Workload& workload,
         sample.fgrc_hit_ratio = hit_ratio_since(p->fgrc().stats().lookups, fgrc0);
         sample.fgrc_bytes = p->fgrc().memory_bytes();
       }
+      // GC/fault activity and utilization accounts, measured-phase deltas
+      // (depth fields are instantaneous — no baseline to subtract).
+      sample.read_retries =
+          machine.ssd().nand().stats().read_retries - retries0;
+      sample.degraded_reads =
+          machine.path().stats().degraded_reads - degraded0;
+      const UtilSnapshot u = machine.util_snapshot();
+      sample.gc_moves = u.gc_moves - gc_moves0;
+      sample.nand_busy_ns = u.nand_busy_ns - u0.nand_busy_ns;
+      sample.interconnect_busy_ns =
+          u.interconnect_busy_ns - u0.interconnect_busy_ns;
+      sample.gc_busy_ns = u.gc_busy_ns - u0.gc_busy_ns;
+      sample.info_ring_depth = u.info_ring_depth;
+      sample.nand_queue_depth = u.nand_queue_depth;
       sampler.record(machine.sim().now(), sample);
     }
   }

@@ -290,6 +290,50 @@ void Machine::collect_metrics(MetricsRegistry& out) {
                                                : 0);
     }
   }
+
+  // Utilization & queueing accounts (obs/util.h). Strictly passive: the
+  // exporters only drain observer-side depth sweeps up to now(). Resources
+  // that exist conditionally are gated the same way as their counter
+  // families above, so differential registries stay bit-identical.
+  const SimTime now = sim_.now();
+  out.set("util.sim_time_ns", now);
+  NandArray& nand = ssd_->nand();
+  export_usage(out, "nand_die", nand.die_usage(),
+               config_.ssd.geometry.dies(), now);
+  export_usage(out, "nand_channel", nand.channel_usage(),
+               config_.ssd.geometry.channels, now);
+  if (nand.gc_usage().ops() > 0) {
+    // Die + channel legs of GC relocations, folded into one account so the
+    // bottleneck table can rank "gc" against the host-attributed resources.
+    export_usage(out, "gc", nand.gc_usage(), config_.ssd.geometry.dies(),
+                 now);
+    out.set("util.gc.foreground_blocked_ns", nand.gc_blocked_host_ns());
+    export_occupancy(out, "gc_buffer", ssd_->gc_buffer_occupancy(), 1, now);
+  }
+  export_usage(out, "pcie_link", ssd_->pcie().pcie_usage(), 1, now);
+  if (config_.ssd.interconnect == InterconnectKind::kLmb)
+    export_usage(out, "lmb_link", ssd_->pcie().lmb_usage(), 1, now);
+  export_occupancy(out, "info_ring", ssd_->hmb().info().occupancy(), 1, now);
+  if (PipettePath* p = pipette_path()) {
+    if (Prefetcher* pf = p->prefetcher())
+      export_occupancy(out, "prefetch_outstanding",
+                       pf->outstanding_occupancy(), 1, now);
+  }
+}
+
+UtilSnapshot Machine::util_snapshot() {
+  UtilSnapshot snap;
+  const SimTime now = sim_.now();
+  NandArray& nand = ssd_->nand();
+  snap.nand_busy_ns = nand.die_usage().busy_ns();
+  snap.interconnect_busy_ns = ssd_->pcie().pcie_usage().busy_ns() +
+                              ssd_->pcie().lmb_usage().busy_ns();
+  snap.gc_busy_ns = nand.gc_usage().busy_ns();
+  snap.gc_moves = ssd_->ftl().stats().gc_relocated_pages;
+  snap.info_ring_depth = ssd_->hmb().info().in_flight();
+  snap.nand_queue_depth =
+      static_cast<std::uint32_t>(nand.die_usage().depth(now));
+  return snap;
 }
 
 void Machine::cold_restart() {

@@ -17,6 +17,20 @@
 
 namespace pipette {
 
+/// Point-in-time view of the machine's utilization accounts, cheap enough
+/// for the timeline sampler to take per interval. Cumulative fields (the
+/// *_busy_ns) are differenced by the caller; depth fields are instantaneous
+/// levels at the snapshot instant. Reading the accounts only advances
+/// observer-only sweep state — never the simulation.
+struct UtilSnapshot {
+  std::uint64_t nand_busy_ns = 0;          // die sensing + programming
+  std::uint64_t interconnect_busy_ns = 0;  // PCIe DMA + LMB link combined
+  std::uint64_t gc_busy_ns = 0;            // GC-attributed NAND time
+  std::uint64_t gc_moves = 0;              // pages GC has relocated
+  std::uint32_t info_ring_depth = 0;       // records in flight right now
+  std::uint32_t nand_queue_depth = 0;      // host ops queued/active on dies
+};
+
 class Machine {
  public:
   Machine(const MachineConfig& config, std::span<const FileSpec> files);
@@ -66,6 +80,9 @@ class Machine {
   /// names (ssd.*, nand.*, page_cache.*, fgrc.*, ...). Always available —
   /// collection does not depend on tracing.
   void collect_metrics(MetricsRegistry& out);
+
+  /// Utilization accounts at sim().now() (see UtilSnapshot).
+  UtilSnapshot util_snapshot();
 
  private:
   MachineConfig config_;

@@ -342,9 +342,14 @@ void SsdController::perform_gc_moves() {
   // command does not wait for them, but subsequent operations queue behind
   // the busy hardware — write amplification becomes visible as time.
   for (const GcMove& move : ftl_.take_gc_moves()) {
-    nand_.read_page(move.from, [this, move]() {
-      nand_.program_page(move.to, [] {});
-    });
+    gc_buffer_occ_.update(sim_.now(), ++gc_buffer_level_);
+    nand_.read_page(
+        move.from,
+        [this, move]() {
+          nand_.program_page(move.to, [] {}, NandOpClass::kGc);
+          gc_buffer_occ_.update(sim_.now(), --gc_buffer_level_);
+        },
+        0, NandOpClass::kGc);
   }
   if (!ftl_.has_pending_gc_work()) return;
   // Erases take no simulated time, but they advance the per-die wear
@@ -369,14 +374,17 @@ void SsdController::perform_gc_moves() {
   GcBatch& batch = gc_batches_[bi];
   ftl_.drain_gc_page_programs(batch.programs);
   batch.reads_pending = static_cast<std::uint32_t>(gc_read_scratch_.size());
+  gc_buffer_occ_.update(sim_.now(), gc_buffer_level_ += batch.reads_pending);
   for (const MuPageRead& r : gc_read_scratch_) {
     nand_.read_page(r.addr, [this, bi]() {
+      gc_buffer_occ_.update(sim_.now(), --gc_buffer_level_);
       GcBatch& b = gc_batches_[bi];
       if (--b.reads_pending > 0) return;
-      for (const PageProgram& p : b.programs) nand_.program_page(p.addr, [] {});
+      for (const PageProgram& p : b.programs)
+        nand_.program_page(p.addr, [] {}, NandOpClass::kGc);
       b.programs.clear();
       gc_batch_free_.push_back(bi);
-    }, r.bytes);
+    }, r.bytes, NandOpClass::kGc);
   }
 }
 
@@ -443,7 +451,8 @@ void SsdController::fg_range_done(FgJob* job) {
   // retire this command's records — even for failed commands, so the ring
   // never leaks. release() keeps the head correct when concurrent commands
   // (demand + speculative prefetch) retire out of push order.
-  for (const FgRange& r : job->cmd.ranges) hmb_.info().release(r.info_index);
+  for (const FgRange& r : job->cmd.ranges)
+    hmb_.info().release(r.info_index, sim_.now());
   recycle_fg_ranges(std::move(job->cmd.ranges));
   const CmdStatus status =
       job->media_failed ? CmdStatus::kMediaError : CmdStatus::kOk;
@@ -482,7 +491,7 @@ void SsdController::do_fg_read(Command cmd, Completion done) {
     ++stats_.hmb_dma_faults;
     sim_.schedule(hf.fault_latency, [this, job]() {
       for (const FgRange& r : job->cmd.ranges)
-        hmb_.info().release(r.info_index);
+        hmb_.info().release(r.info_index, sim_.now());
       recycle_fg_ranges(std::move(job->cmd.ranges));
       const bool drop = job->drop_completion;
       Completion done = std::move(job->done);

@@ -150,6 +150,9 @@ class SsdController {
   Hmb& hmb() { return hmb_; }
   DiskContent& content() { return content_; }
   const NandArray& nand() const { return nand_; }
+  /// Mutable access for the utilization exporters (depth sweeps drain
+  /// lazily, so reading the accounts advances observer-only state).
+  NandArray& nand() { return nand_; }
   const Ftl& ftl() const { return ftl_; }
   PcieLink& pcie() { return pcie_; }
   const ControllerStats& stats() const { return stats_; }
@@ -163,6 +166,11 @@ class SsdController {
   /// fine-grained commands take one here instead of allocating per request;
   /// the controller reclaims the vector when the command retires.
   std::vector<FgRange> take_fg_ranges();
+
+  /// Time-weighted occupancy of the GC page buffer: victim-page reads GC
+  /// has issued whose data has not yet landed in controller DRAM (passive
+  /// account; obs/util.h).
+  OccupancyIntegrator& gc_buffer_occupancy() { return gc_buffer_occ_; }
 
   /// Worker-arena support (cache-local fleet execution): donate a warm
   /// FgRange pool before a shard run / reclaim it afterwards, so one
@@ -283,6 +291,8 @@ class SsdController {
   };
   std::vector<GcBatch> gc_batches_;
   std::vector<std::uint32_t> gc_batch_free_;
+  OccupancyIntegrator gc_buffer_occ_;
+  std::uint32_t gc_buffer_level_ = 0;
 
   // Drain scratch (capacity retained across calls; never held across a
   // re-entrant controller call).

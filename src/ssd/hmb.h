@@ -19,6 +19,7 @@
 #include <span>
 #include <vector>
 
+#include "obs/util.h"
 #include "ssd/types.h"
 
 namespace pipette {
@@ -51,6 +52,15 @@ class InfoArea {
   /// be full (callers back-pressure on full()).
   std::uint64_t push(const InfoRecord& rec);
 
+  /// Timed variant: also advances the ring's occupancy integral to `now`
+  /// (obs/util.h; pure accounting — behaviour is identical to push()).
+  /// Simulation call sites use this; untimed push() remains for unit tests.
+  std::uint64_t push(const InfoRecord& rec, SimTime now) {
+    const std::uint64_t idx = push(rec);
+    occupancy_.update(now, in_flight());
+    return idx;
+  }
+
   /// Record at monotonic index `idx` (must be in [head, tail)).
   const InfoRecord& at(std::uint64_t idx) const;
 
@@ -66,8 +76,17 @@ class InfoArea {
   /// digests its records too.
   void release(std::uint64_t idx);
 
+  /// Timed variant of release() (see the timed push()).
+  void release(std::uint64_t idx, SimTime now) {
+    release(idx);
+    occupancy_.update(now, in_flight());
+  }
+
   std::uint64_t head() const { return head_; }
   std::uint64_t tail() const { return tail_; }
+
+  /// Time-weighted occupancy of the ring (depth integral, busy time, peak).
+  OccupancyIntegrator& occupancy() { return occupancy_; }
 
  private:
   std::uint32_t capacity_;
@@ -76,6 +95,7 @@ class InfoArea {
   std::uint32_t peak_in_flight_ = 0;
   std::vector<InfoRecord> slots_;
   std::vector<bool> digested_;  // out-of-order release marks, slot-indexed
+  OccupancyIntegrator occupancy_;
 };
 
 /// The HMB region: backing bytes plus the three-partition layout.

@@ -24,6 +24,7 @@ void PcieLink::dma(std::uint64_t bytes, Simulator::Callback on_done,
   busy_until_ = end;
   ++dma_transfers_;
   dma_bytes_ += bytes;
+  pcie_usage_.record(sim_.now(), sim_.now(), start, end);
   // Span includes time queued behind in-flight transfers on the shared
   // link, not just the wire time — link contention is the point.
   PIPETTE_TRACE_SPAN(sim_, stage, sim_.now(), end);
@@ -39,6 +40,7 @@ void PcieLink::dma_lmb(std::uint64_t bytes, Simulator::Callback on_done) {
   lmb_busy_until_ = end;
   ++lmb_transfers_;
   lmb_bytes_ += bytes;
+  lmb_usage_.record(sim_.now(), sim_.now(), start, end);
   PIPETTE_TRACE_SPAN(sim_, Stage::kLmbDma, sim_.now(), end);
   sim_.schedule_at(end, std::move(on_done));
 }

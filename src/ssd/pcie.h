@@ -17,6 +17,7 @@
 #include "common/units.h"
 #include "des/simulator.h"
 #include "obs/trace.h"
+#include "obs/util.h"
 
 namespace pipette {
 
@@ -90,6 +91,10 @@ class PcieLink {
   std::uint64_t lmb_transfers() const { return lmb_transfers_; }
   std::uint64_t lmb_bytes() const { return lmb_bytes_; }
 
+  // Utilization accounts for the two DMA engines (passive; obs/util.h).
+  ResourceUsage& pcie_usage() { return pcie_usage_; }
+  ResourceUsage& lmb_usage() { return lmb_usage_; }
+
  private:
   Simulator& sim_;
   PcieTiming timing_;
@@ -100,6 +105,8 @@ class PcieLink {
   std::uint64_t dma_bytes_ = 0;
   std::uint64_t lmb_transfers_ = 0;
   std::uint64_t lmb_bytes_ = 0;
+  ResourceUsage pcie_usage_;
+  ResourceUsage lmb_usage_;
 };
 
 }  // namespace pipette

@@ -3,12 +3,16 @@
 // parse, and the metrics registry must merge deterministically.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <string>
 
 #include "common/json.h"
+#include "common/table.h"
 #include "fleet/fleet.h"
 #include "obs/chrome_trace.h"
+#include "obs/timeline.h"
+#include "obs/util.h"
 #include "sim/experiment.h"
 #include "workload/synthetic.h"
 
@@ -183,6 +187,151 @@ TEST(Metrics, RegistryBasics) {
     EXPECT_LT(prev, k);
     prev = k;
   }
+}
+
+// The merge rule satellites: plain counters sum across shards, but any
+// metric named `*_peak` / `*.peak` is a high-water gauge and must take the
+// max — summing peaks across shards would fabricate a depth no shard saw.
+TEST(Metrics, PeakGaugesMaxMergeOthersSum) {
+  MetricsRegistry mine;
+  mine.set("queue.nand_die.depth_peak", 7);
+  mine.set("ring.peak", 2);
+  mine.set("reads.count", 3);
+  MetricsRegistry theirs;
+  theirs.set("queue.nand_die.depth_peak", 5);
+  theirs.set("ring.peak", 9);
+  theirs.set("reads.count", 4);
+  theirs.set("peak.reads", 11);  // "peak" not a suffix: still a counter
+  mine.merge_add(theirs);
+  EXPECT_EQ(mine.value("queue.nand_die.depth_peak"), 7u);  // max, not 12
+  EXPECT_EQ(mine.value("ring.peak"), 9u);
+  EXPECT_EQ(mine.value("reads.count"), 7u);  // sum
+  mine.merge_add(theirs);
+  EXPECT_EQ(mine.value("peak.reads"), 22u);  // summed twice
+  EXPECT_EQ(mine.value("ring.peak"), 9u);    // max is idempotent
+}
+
+TEST(Timeline, SamplerEdgeCases) {
+  // interval = 0 disables sampling outright.
+  TimelineSampler off({/*interval=*/0, /*max_samples=*/4}, /*start=*/100);
+  EXPECT_FALSE(off.due(1'000'000'000));
+
+  TimelineConfig cfg;
+  cfg.interval = 10;
+  cfg.max_samples = 3;
+  TimelineSampler s(cfg, /*start=*/5);
+  EXPECT_FALSE(s.due(5));
+  EXPECT_FALSE(s.due(14));
+  // A poll that straddles many intervals yields ONE sample (decimation,
+  // not catch-up), and the next deadline is rebased on the poll time.
+  EXPECT_TRUE(s.due(95));
+  s.record(95, {});
+  EXPECT_FALSE(s.due(95));
+  EXPECT_FALSE(s.due(104));
+  EXPECT_TRUE(s.due(105));
+  s.record(105, {});
+  s.record(130, {});
+  // max_samples reached: the sampler stops being due, it never resizes.
+  EXPECT_FALSE(s.due(1'000'000));
+  const std::vector<TimeSample> samples = s.take();
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(samples[0].t, 90u);  // t is relative to the start time
+  EXPECT_EQ(samples[1].t, 100u);
+}
+
+TEST(Utilization, MetricsExportedWithExactQueueIdentity) {
+  const RunResult r = run_cell(PathKind::kPipette, /*traced=*/false);
+  EXPECT_GT(r.metrics.value("util.sim_time_ns"), 0u);
+  EXPECT_GT(r.metrics.value("util.nand_die.busy_ns"), 0u);
+  EXPECT_GT(r.metrics.value("util.nand_die.ops"), 0u);
+  EXPECT_GT(r.metrics.value("util.pcie_link.busy_ns"), 0u);
+  // The Fubini/Little's cross-check holds exactly on the integer sim
+  // clock: time in system (busy + wait) == the queue-depth integral.
+  for (const char* res : {"nand_die", "nand_channel", "pcie_link"}) {
+    const std::string n(res);
+    EXPECT_EQ(r.metrics.value("util." + n + ".busy_ns") +
+                  r.metrics.value("queue." + n + ".wait_ns"),
+              r.metrics.value("queue." + n + ".depth_integral_ns"))
+        << n;
+  }
+  // Occupancy accounts (ring levels) export no wait leg...
+  EXPECT_TRUE(r.metrics.contains("util.info_ring.busy_ns"));
+  EXPECT_FALSE(r.metrics.contains("queue.info_ring.wait_ns"));
+  // ...and gated accounts stay absent: HMB build has no LMB link, no
+  // prefetcher was configured.
+  EXPECT_FALSE(r.metrics.contains("util.lmb_link.busy_ns"));
+  EXPECT_FALSE(r.metrics.contains("util.prefetch_outstanding.busy_ns"));
+}
+
+TEST(Utilization, BottleneckReportRanksServiceResourcesFirst) {
+  MetricsRegistry m;
+  m.set("util.sim_time_ns", 1'000);
+  // An occupancy account busier than every service account: non-empty 90%
+  // of the time must still not out-rank a die that is serving 50%.
+  m.set("util.ring.busy_ns", 900);
+  m.set("util.ring.units", 1);
+  m.set("queue.ring.depth_integral_ns", 900);
+  m.set("queue.ring.depth_peak", 4);
+  m.set("util.die.busy_ns", 500);
+  m.set("util.die.units", 4);
+  m.set("util.die.ops", 10);
+  m.set("queue.die.wait_ns", 100);
+  m.set("queue.die.depth_integral_ns", 600);
+  m.set("queue.die.depth_peak", 3);
+  m.set("util.link.busy_ns", 200);
+  m.set("util.link.units", 1);
+  m.set("util.link.ops", 4);
+  m.set("queue.link.wait_ns", 0);
+  m.set("queue.link.depth_integral_ns", 200);
+  m.set("queue.link.depth_peak", 1);
+  const BottleneckReport report = BottleneckReport::from_metrics(m);
+  ASSERT_EQ(report.resources().size(), 3u);
+  EXPECT_EQ(report.top(), "die");
+  EXPECT_EQ(report.resources()[0].name, "die");
+  EXPECT_EQ(report.resources()[1].name, "link");
+  EXPECT_EQ(report.resources()[2].name, "ring");
+  EXPECT_FALSE(report.resources()[2].has_waits);
+  EXPECT_DOUBLE_EQ(report.resources()[0].busy_share(report.elapsed_ns()),
+                   0.5);
+  EXPECT_DOUBLE_EQ(report.max_littles_residual(), 0.0);  // 500+100 == 600
+  EXPECT_FALSE(report.to_table().to_text().empty());
+}
+
+TEST(Fleet, UtilizationMetricsMergeAcrossJobs) {
+  auto run_fleet = [](unsigned jobs) {
+    FleetConfig fleet;
+    fleet.shards = 4;
+    fleet.machine = default_machine(PathKind::kPipette);
+    FleetRunner runner(
+        fleet,
+        [](std::uint64_t s) -> std::unique_ptr<Workload> {
+          SyntheticConfig sc = table1_workload('C', Distribution::kUniform, s);
+          sc.file_size = 32 * kMiB;
+          return std::make_unique<SyntheticWorkload>(sc);
+        },
+        kSeed);
+    return runner.run(kRun, jobs);
+  };
+  const FleetResult serial = run_fleet(1);
+  const FleetResult parallel = run_fleet(4);
+  EXPECT_TRUE(deterministic_equal(serial, parallel));
+
+  // Cumulative util legs sum across shards; peak depths take the max.
+  std::uint64_t sim_time = 0, busy = 0, peak = 0;
+  for (const RunResult& r : serial.shard_results) {
+    sim_time += r.metrics.value("util.sim_time_ns");
+    busy += r.metrics.value("util.nand_die.busy_ns");
+    peak = std::max(peak, r.metrics.value("queue.nand_die.depth_peak"));
+  }
+  EXPECT_GT(busy, 0u);
+  EXPECT_EQ(serial.metrics.value("util.sim_time_ns"), sim_time);
+  EXPECT_EQ(serial.metrics.value("util.nand_die.busy_ns"), busy);
+  EXPECT_EQ(serial.metrics.value("queue.nand_die.depth_peak"), peak);
+
+  // The merged registry still parses into a ranked report.
+  const BottleneckReport report =
+      BottleneckReport::from_metrics(serial.metrics);
+  EXPECT_FALSE(report.top().empty());
 }
 
 TEST(Metrics, CollectedIntoRunResult) {
